@@ -1,0 +1,393 @@
+// Package bytescheduler is a Go reproduction of "A Generic Communication
+// Scheduler for Distributed DNN Training Acceleration" (ByteScheduler,
+// SOSP 2019).
+//
+// It provides two public surfaces:
+//
+//   - A live, goroutine-safe tensor scheduler (NewScheduler) implementing
+//     the paper's core algorithm — unified CommTask abstraction, tensor
+//     partitioning, priority queueing with credit-based preemption — for
+//     embedding in real communication stacks.
+//
+//   - A deterministic simulation harness (Run, Tune, Linear) reproducing
+//     the paper's evaluation: simulated MXNet/TensorFlow/PyTorch engines,
+//     PS and ring all-reduce substrates, TCP/RDMA transports, and the
+//     Bayesian-Optimization auto-tuner for partition and credit sizes.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduced tables and figures.
+package bytescheduler
+
+import (
+	"fmt"
+	"strings"
+
+	"bytescheduler/internal/allreduce"
+	"bytescheduler/internal/compress"
+	"bytescheduler/internal/core"
+	"bytescheduler/internal/model"
+	"bytescheduler/internal/network"
+	"bytescheduler/internal/plugin"
+	"bytescheduler/internal/runner"
+	"bytescheduler/internal/tune"
+)
+
+// Transport selects the network stack.
+type Transport int
+
+const (
+	// TCP is the kernel TCP/IP stack profile.
+	TCP Transport = iota
+	// RDMA is the kernel-bypass RDMA profile.
+	RDMA
+)
+
+// String returns the transport name.
+func (t Transport) String() string {
+	if t == RDMA {
+		return "RDMA"
+	}
+	return "TCP"
+}
+
+func (t Transport) profile() network.Profile {
+	if t == RDMA {
+		return network.RDMA()
+	}
+	return network.TCP()
+}
+
+// Arch selects the gradient synchronization architecture.
+type Arch int
+
+const (
+	// PS is the parameter-server architecture.
+	PS Arch = iota
+	// AllReduce is ring all-reduce (NCCL-style).
+	AllReduce
+)
+
+// String returns the architecture name.
+func (a Arch) String() string {
+	if a == AllReduce {
+		return "NCCL"
+	}
+	return "PS"
+}
+
+func (a Arch) runnerArch() runner.Arch {
+	if a == AllReduce {
+		return runner.AllReduce
+	}
+	return runner.PS
+}
+
+// Framework selects the simulated training framework.
+type Framework int
+
+const (
+	// MXNet is a declarative engine without a global barrier.
+	MXNet Framework = iota
+	// TensorFlow is a declarative engine with a global barrier.
+	TensorFlow
+	// PyTorch is an imperative engine with a global barrier.
+	PyTorch
+)
+
+// String returns the framework name.
+func (f Framework) String() string { return f.plugin().String() }
+
+func (f Framework) plugin() plugin.Framework {
+	switch f {
+	case TensorFlow:
+		return plugin.TensorFlow
+	case PyTorch:
+		return plugin.PyTorch
+	default:
+		return plugin.MXNet
+	}
+}
+
+// Policy is a communication scheduling policy.
+type Policy struct {
+	p         core.Policy
+	scheduled bool
+}
+
+// Vanilla returns the baseline policy of unmodified frameworks: FIFO order,
+// no partitioning, no barrier crossing.
+func Vanilla() Policy { return Policy{p: core.FIFO()} }
+
+// P3 returns the policy of the P3 scheduler (Jayarajan et al.): 160 KB
+// partitions with stop-and-wait transmission and layer priority.
+func P3() Policy { return Policy{p: core.P3(), scheduled: true} }
+
+// TicTac returns a priority-only policy without partitioning, approximating
+// TicTac.
+func TicTac() Policy { return Policy{p: core.TicTacLike(), scheduled: true} }
+
+// WithPartitionCredit returns the ByteScheduler policy with explicit
+// partition and credit sizes in bytes.
+func WithPartitionCredit(partition, credit int64) Policy {
+	return Policy{p: core.ByteScheduler(partition, credit), scheduled: true}
+}
+
+// Name returns the policy name, e.g. "bytescheduler".
+func (p Policy) Name() string { return p.p.Name }
+
+// Experiment describes one simulated training configuration.
+type Experiment struct {
+	// Model is a zoo model name: VGG16, VGG19, ResNet50, Transformer,
+	// AlexNet.
+	Model string
+	// Framework, Arch, Transport select the setup (§6.1's "8 different
+	// setups").
+	Framework Framework
+	Arch      Arch
+	Transport Transport
+	// BandwidthGbps is the per-direction NIC speed (paper: 1–100).
+	BandwidthGbps float64
+	// GPUs is the total GPU count; a multiple of 8 (8 GPUs per machine).
+	GPUs int
+	// Policy selects the scheduler; Vanilla() for the baseline.
+	Policy Policy
+	// AsyncPS enables asynchronous PS training.
+	AsyncPS bool
+	// Collective selects the all-reduce algorithm: "" or "ring",
+	// "halving-doubling"/"hd", "double-tree"/"tree". Ignored for PS.
+	Collective string
+	// Compression enables gradient compression: "" (none), "fp16",
+	// "int8", or "topk:<keep>" such as "topk:0.01". Composes with
+	// scheduling (§8).
+	Compression string
+	// Iterations and Warmup control measurement; zero selects defaults.
+	Iterations, Warmup int
+	// Jitter adds relative compute noise (e.g. 0.02); Seed seeds it.
+	Jitter float64
+	Seed   int64
+}
+
+// Measurement is the outcome of one experiment.
+type Measurement struct {
+	// SamplesPerSec is the aggregate training speed.
+	SamplesPerSec float64
+	// SampleUnit is "images" or "tokens".
+	SampleUnit string
+	// IterTime is the steady-state iteration time in seconds.
+	IterTime float64
+	// LoadImbalance is the PS max/mean load ratio (0 for all-reduce).
+	LoadImbalance float64
+	// Preemptions counts priority preemptions performed by the scheduler.
+	Preemptions uint64
+}
+
+func parseCompression(spec string) (*compress.Compressor, error) {
+	switch {
+	case spec == "":
+		return nil, nil
+	case spec == "fp16":
+		c := compress.NewFP16()
+		return &c, nil
+	case spec == "int8":
+		c := compress.NewInt8()
+		return &c, nil
+	case strings.HasPrefix(spec, "topk:"):
+		var keep float64
+		if _, err := fmt.Sscanf(spec, "topk:%g", &keep); err != nil {
+			return nil, fmt.Errorf("bytescheduler: bad top-k spec %q", spec)
+		}
+		c := compress.NewTopK(keep)
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+		return &c, nil
+	}
+	return nil, fmt.Errorf("bytescheduler: unknown compression %q", spec)
+}
+
+func (e Experiment) runnerConfig() (runner.Config, error) {
+	m, err := model.ByName(e.Model)
+	if err != nil {
+		return runner.Config{}, err
+	}
+	collective := allreduce.RingAlgo
+	if e.Collective != "" {
+		collective, err = allreduce.AlgorithmByName(e.Collective)
+		if err != nil {
+			return runner.Config{}, err
+		}
+	}
+	compression, err := parseCompression(e.Compression)
+	if err != nil {
+		return runner.Config{}, err
+	}
+	return runner.Config{
+		Model:         m,
+		Framework:     e.Framework.plugin(),
+		Arch:          e.Arch.runnerArch(),
+		Transport:     e.Transport.profile(),
+		BandwidthGbps: e.BandwidthGbps,
+		GPUs:          e.GPUs,
+		Policy:        e.Policy.p,
+		Scheduled:     e.Policy.scheduled,
+		Async:         e.AsyncPS,
+		Collective:    collective,
+		Compression:   compression,
+		Iterations:    e.Iterations,
+		Warmup:        e.Warmup,
+		Jitter:        e.Jitter,
+		Seed:          e.Seed,
+	}, nil
+}
+
+// Run executes the experiment and returns its measured speed.
+func Run(e Experiment) (Measurement, error) {
+	cfg, err := e.runnerConfig()
+	if err != nil {
+		return Measurement{}, err
+	}
+	res, err := runner.Run(cfg)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{
+		SamplesPerSec: res.SamplesPerSec,
+		SampleUnit:    cfg.Model.SampleUnit,
+		IterTime:      res.IterTime,
+		LoadImbalance: res.LoadImbalance,
+		Preemptions:   res.UpStats.Preemptions + res.DownStats.Preemptions,
+	}, nil
+}
+
+// Linear returns the linear-scalability reference speed for the
+// experiment's model and GPU count.
+func Linear(e Experiment) (float64, error) {
+	cfg, err := e.runnerConfig()
+	if err != nil {
+		return 0, err
+	}
+	return runner.LinearScaling(cfg), nil
+}
+
+// TuneResult is an auto-tuning outcome.
+type TuneResult struct {
+	// Partition and Credit are the best sizes found, in bytes.
+	Partition, Credit int64
+	// SamplesPerSec is the speed at the tuned configuration.
+	SamplesPerSec float64
+	// Trials is the number of profiled configurations.
+	Trials int
+}
+
+// Tune runs the paper's Bayesian-Optimization auto-tuner on the
+// experiment's setup, searching partition and credit sizes over the given
+// number of trials, and returns the best configuration found.
+func Tune(e Experiment, trials int, seed int64) (TuneResult, error) {
+	cfg, err := e.runnerConfig()
+	if err != nil {
+		return TuneResult{}, err
+	}
+	var firstErr error
+	objective := func(p, c int64) float64 {
+		speed, err := runner.SpeedWithParams(cfg, p, c)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return speed
+	}
+	res := tune.PartitionCredit(tune.NewBO(tune.ParamBounds(), seed), objective, trials)
+	if firstErr != nil {
+		return TuneResult{}, firstErr
+	}
+	return TuneResult{
+		Partition:     res.Partition,
+		Credit:        res.Credit,
+		SamplesPerSec: res.Speed,
+		Trials:        res.Trials,
+	}, nil
+}
+
+// OnlineTuneResult is the outcome of tuning on a live run.
+type OnlineTuneResult struct {
+	// Partition and Credit are the best sizes found, in bytes.
+	Partition, Credit int64
+	// FirstSpeed is the speed at the starting configuration; FinalSpeed
+	// the speed after tuning.
+	FirstSpeed, FinalSpeed float64
+	// Restarts counts PS checkpoint-restarts caused by partition changes;
+	// OverheadSec is their total cost.
+	Restarts    int
+	OverheadSec float64
+}
+
+// TuneOnline tunes partition and credit sizes on a single continuous
+// training run — the paper's deployed mechanism (§4.3/§5), where BO
+// profiles candidate configurations on live windows. The experiment's
+// Policy provides the starting point and must be a partitioned scheduler
+// policy (e.g. WithPartitionCredit).
+func TuneOnline(e Experiment, trials int, seed int64) (OnlineTuneResult, error) {
+	cfg, err := e.runnerConfig()
+	if err != nil {
+		return OnlineTuneResult{}, err
+	}
+	res, err := runner.RunOnlineTuned(runner.OnlineConfig{
+		Config:         cfg,
+		Trials:         trials,
+		TuneSeed:       seed,
+		RestartPenalty: 5,
+	})
+	if err != nil {
+		return OnlineTuneResult{}, err
+	}
+	return OnlineTuneResult{
+		Partition:   res.BestPartition,
+		Credit:      res.BestCredit,
+		FirstSpeed:  res.FirstWindowSpeed,
+		FinalSpeed:  res.FinalSpeed,
+		Restarts:    res.Restarts,
+		OverheadSec: res.TuningOverhead,
+	}, nil
+}
+
+// Models returns the registered model names.
+func Models() []string { return model.Names() }
+
+// ModelInfo summarizes a zoo model.
+type ModelInfo struct {
+	// Name is the canonical model name.
+	Name string
+	// Layers is the number of schedulable layers.
+	Layers int
+	// Params is the parameter count.
+	Params int64
+	// Bytes is the gradient/parameter volume per iteration.
+	Bytes int64
+	// BatchPerGPU is the default per-GPU batch size.
+	BatchPerGPU int
+	// SampleUnit is "images" or "tokens".
+	SampleUnit string
+}
+
+// Info returns facts about a zoo model.
+func Info(name string) (ModelInfo, error) {
+	m, err := model.ByName(name)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	return ModelInfo{
+		Name:        m.Name,
+		Layers:      m.NumLayers(),
+		Params:      m.Params(),
+		Bytes:       m.TotalBytes(),
+		BatchPerGPU: m.BatchPerGPU,
+		SampleUnit:  m.SampleUnit,
+	}, nil
+}
+
+// Speedup returns the percentage by which b is faster than a.
+func Speedup(a, b Measurement) float64 {
+	if a.SamplesPerSec == 0 {
+		return 0
+	}
+	return (b.SamplesPerSec - a.SamplesPerSec) / a.SamplesPerSec * 100
+}

@@ -1,0 +1,63 @@
+// Command benchsuite regenerates every table and figure of the paper's
+// evaluation as text tables (see DESIGN.md's per-experiment index).
+//
+// Examples:
+//
+//	benchsuite                  # run everything, quick sizing
+//	benchsuite -full            # full grids (slower)
+//	benchsuite -run FIG10,TAB1  # selected experiments
+//	benchsuite -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bytescheduler/internal/experiments"
+)
+
+func main() {
+	var (
+		runIDs = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		full   = flag.Bool("full", false, "full paper-scale grids instead of quick sizing")
+		seed   = flag.Int64("seed", 1, "random seed")
+		list   = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Desc)
+		}
+		return
+	}
+
+	opts := experiments.Opts{Quick: !*full, Seed: *seed}
+	var selected []experiments.Experiment
+	if strings.EqualFold(*runIDs, "all") {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsuite:", err)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		tab, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(tab.Format())
+		fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,181 @@
+// Command bytesched runs one simulated distributed-training configuration
+// and reports its speed, optionally comparing against the vanilla baseline
+// and linear scaling, auto-tuning the scheduler parameters, and dumping a
+// GPU timeline.
+//
+// Examples:
+//
+//	bytesched -model VGG16 -arch ps -transport rdma -bw 100 -gpus 32
+//	bytesched -model Transformer -arch nccl -policy p3
+//	bytesched -model ResNet50 -tune 12
+//	bytesched -model VGG16 -gantt -iters 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bytescheduler/internal/core"
+	"bytescheduler/internal/model"
+	"bytescheduler/internal/network"
+	"bytescheduler/internal/plugin"
+	"bytescheduler/internal/runner"
+	"bytescheduler/internal/trace"
+	"bytescheduler/internal/tune"
+)
+
+func main() {
+	var (
+		modelName = flag.String("model", "VGG16", "model: "+strings.Join(model.Names(), ", "))
+		framework = flag.String("framework", "mxnet", "framework: mxnet, tensorflow, pytorch")
+		arch      = flag.String("arch", "ps", "gradient synchronization: ps or nccl")
+		transport = flag.String("transport", "rdma", "transport: tcp or rdma")
+		bw        = flag.Float64("bw", 100, "per-direction bandwidth in Gbps")
+		gpus      = flag.Int("gpus", 16, "total GPUs (multiple of 8)")
+		policy    = flag.String("policy", "bytescheduler", "policy: fifo, p3, tictac, bytescheduler")
+		partMB    = flag.Float64("partition", 2, "partition size in MB (bytescheduler policy)")
+		creditMB  = flag.Float64("credit", 8, "credit size in MB (bytescheduler policy)")
+		async     = flag.Bool("async", false, "asynchronous PS")
+		iters     = flag.Int("iters", 12, "iterations to simulate")
+		warmup    = flag.Int("warmup", 2, "warmup iterations excluded from measurement")
+		jitter    = flag.Float64("jitter", 0, "relative compute jitter, e.g. 0.02")
+		seed      = flag.Int64("seed", 1, "random seed")
+		tuneN     = flag.Int("tune", 0, "auto-tune partition/credit with this many BO trials")
+		gantt     = flag.Bool("gantt", false, "print an ASCII GPU timeline")
+		chromeOut = flag.String("chrome-trace", "", "write a Chrome trace JSON to this file")
+	)
+	flag.Parse()
+	if err := run(*modelName, *framework, *arch, *transport, *policy, *bw, *partMB, *creditMB,
+		*gpus, *iters, *warmup, *tuneN, *seed, *jitter, *async, *gantt, *chromeOut); err != nil {
+		fmt.Fprintln(os.Stderr, "bytesched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelName, framework, arch, transport, policy string,
+	bw, partMB, creditMB float64, gpus, iters, warmup, tuneN int,
+	seed int64, jitter float64, async, gantt bool, chromeOut string) error {
+
+	m, err := model.ByName(modelName)
+	if err != nil {
+		return err
+	}
+	fw, err := plugin.FrameworkByName(framework)
+	if err != nil {
+		return err
+	}
+	prof, err := network.ProfileByName(transport)
+	if err != nil {
+		return err
+	}
+	var a runner.Arch
+	switch strings.ToLower(arch) {
+	case "ps":
+		a = runner.PS
+	case "nccl", "allreduce", "all-reduce":
+		a = runner.AllReduce
+	default:
+		return fmt.Errorf("unknown arch %q", arch)
+	}
+
+	cfg := runner.Config{
+		Model:         m,
+		Framework:     fw,
+		Arch:          a,
+		Transport:     prof,
+		BandwidthGbps: bw,
+		GPUs:          gpus,
+		Iterations:    iters,
+		Warmup:        warmup,
+		Jitter:        jitter,
+		Seed:          seed,
+		Async:         async,
+	}
+
+	switch strings.ToLower(policy) {
+	case "fifo":
+		cfg.Policy = core.FIFO()
+	case "p3":
+		cfg.Policy = core.P3()
+		cfg.Scheduled = true
+	case "tictac":
+		cfg.Policy = core.TicTacLike()
+		cfg.Scheduled = true
+	case "bytescheduler", "bs":
+		cfg.Policy = core.ByteScheduler(int64(partMB*(1<<20)), int64(creditMB*(1<<20)))
+		cfg.Scheduled = true
+	default:
+		return fmt.Errorf("unknown policy %q", policy)
+	}
+
+	if tuneN > 0 {
+		fmt.Printf("auto-tuning %s with %d BO trials...\n", cfg.Name(), tuneN)
+		res := tune.PartitionCredit(tune.NewBO(tune.ParamBounds(), seed),
+			func(p, c int64) float64 {
+				speed, err := runner.SpeedWithParams(cfg, p, c)
+				if err != nil {
+					return 0
+				}
+				return speed
+			}, tuneN)
+		fmt.Printf("best: partition=%.1fMB credit=%.1fMB -> %.0f %s/s\n",
+			float64(res.Partition)/(1<<20), float64(res.Credit)/(1<<20), res.Speed, m.SampleUnit)
+		cfg.Policy = core.ByteScheduler(res.Partition, res.Credit)
+		cfg.Scheduled = true
+	}
+
+	var rec *trace.Recorder
+	if gantt || chromeOut != "" {
+		rec = trace.New()
+		cfg.Trace = rec
+	}
+
+	res, err := runner.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	baseCfg := cfg
+	baseCfg.Policy = core.FIFO()
+	baseCfg.Scheduled = false
+	baseCfg.Trace = nil
+	base, err := runner.Run(baseCfg)
+	if err != nil {
+		return err
+	}
+	linear := runner.LinearScaling(cfg)
+
+	fmt.Printf("%s, policy=%s\n", cfg.Name(), cfg.Policy.Name)
+	fmt.Printf("  speed:     %10.0f %s/s  (iter %.1f ms)\n", res.SamplesPerSec, m.SampleUnit, res.IterTime*1e3)
+	fmt.Printf("  baseline:  %10.0f %s/s  (iter %.1f ms)\n", base.SamplesPerSec, m.SampleUnit, base.IterTime*1e3)
+	fmt.Printf("  linear:    %10.0f %s/s\n", linear, m.SampleUnit)
+	fmt.Printf("  speedup:   %+9.1f%% over baseline, %.0f%% of linear\n",
+		(res.SamplesPerSec-base.SamplesPerSec)/base.SamplesPerSec*100,
+		res.SamplesPerSec/linear*100)
+	fmt.Printf("  GPU util:  %9.0f%% compute (rest is communication stall)\n", res.GPUUtilization*100)
+	if a == runner.PS {
+		fmt.Printf("  PS load:   max/mean %.2f\n", res.LoadImbalance)
+	}
+	fmt.Printf("  scheduler: %d partitions sent, %d preemptions\n",
+		res.UpStats.SubsStarted+res.DownStats.SubsStarted,
+		res.UpStats.Preemptions+res.DownStats.Preemptions)
+
+	if gantt {
+		fmt.Println()
+		fmt.Print(rec.Gantt(100))
+	}
+	if chromeOut != "" {
+		f, err := os.Create(chromeOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteChromeTrace(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", chromeOut)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runDefaults calls run with sensible small-experiment arguments,
+// overridden per test.
+type args struct {
+	model, framework, arch, transport, policy string
+	bw, partMB, creditMB                      float64
+	gpus, iters, warmup, tuneN                int
+	seed                                      int64
+	jitter                                    float64
+	async, gantt                              bool
+	chromeOut                                 string
+}
+
+func defaults() args {
+	return args{
+		model: "VGG16", framework: "mxnet", arch: "ps", transport: "rdma",
+		policy: "bytescheduler", bw: 100, partMB: 2, creditMB: 8,
+		gpus: 8, iters: 6, warmup: 1, seed: 1,
+	}
+}
+
+func (a args) run() error {
+	return run(a.model, a.framework, a.arch, a.transport, a.policy,
+		a.bw, a.partMB, a.creditMB, a.gpus, a.iters, a.warmup, a.tuneN,
+		a.seed, a.jitter, a.async, a.gantt, a.chromeOut)
+}
+
+func TestRunPolicies(t *testing.T) {
+	for _, policy := range []string{"fifo", "p3", "tictac", "bytescheduler", "bs"} {
+		a := defaults()
+		a.policy = policy
+		if err := a.run(); err != nil {
+			t.Errorf("policy %s: %v", policy, err)
+		}
+	}
+}
+
+func TestRunArchAndTransportAliases(t *testing.T) {
+	for _, arch := range []string{"ps", "nccl", "allreduce", "all-reduce"} {
+		a := defaults()
+		a.arch = arch
+		if err := a.run(); err != nil {
+			t.Errorf("arch %s: %v", arch, err)
+		}
+	}
+	a := defaults()
+	a.transport = "tcp"
+	a.framework = "pytorch"
+	a.arch = "nccl"
+	if err := a.run(); err != nil {
+		t.Errorf("pytorch nccl tcp: %v", err)
+	}
+}
+
+func TestRunTune(t *testing.T) {
+	a := defaults()
+	a.tuneN = 4
+	if err := a.run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGanttAndChromeTrace(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	a := defaults()
+	a.iters = 3
+	a.gantt = true
+	a.chromeOut = out
+	if err := a.run(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 || data[0] != '[' {
+		t.Fatalf("chrome trace looks wrong: %q...", data[:min(20, len(data))])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for name, mutate := range map[string]func(*args){
+		"model":     func(a *args) { a.model = "LeNet-0" },
+		"framework": func(a *args) { a.framework = "caffe" },
+		"arch":      func(a *args) { a.arch = "mesh" },
+		"transport": func(a *args) { a.transport = "roce9" },
+		"policy":    func(a *args) { a.policy = "lifo" },
+		"gpus":      func(a *args) { a.gpus = 3 },
+	} {
+		a := defaults()
+		mutate(&a)
+		if err := a.run(); err == nil {
+			t.Errorf("%s: invalid value accepted", name)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,76 @@
+// Command tuneviz walks through the paper's auto-tuning machinery: it
+// reproduces the Figure 9 Bayesian-Optimization posterior (with a crude
+// terminal plot) and the Figure 14 search-cost comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bytescheduler/internal/experiments"
+)
+
+func main() {
+	var (
+		seed = flag.Int64("seed", 1, "random seed")
+		full = flag.Bool("full", false, "full-size Figure 14 comparison")
+	)
+	flag.Parse()
+	opts := experiments.Opts{Quick: !*full, Seed: *seed}
+
+	fig9, err := experiments.Fig09BOPosterior(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tuneviz:", err)
+		os.Exit(1)
+	}
+	fmt.Print(fig9.Format())
+	fmt.Println()
+	fmt.Println(sparkline(fig9))
+	fmt.Println()
+
+	fig14, err := experiments.Fig14SearchCost(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tuneviz:", err)
+		os.Exit(1)
+	}
+	fmt.Print(fig14.Format())
+}
+
+// sparkline renders the posterior mean column as a rough terminal plot.
+func sparkline(tab experiments.Table) string {
+	var vals []float64
+	var labels []string
+	for _, row := range tab.Rows {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			continue
+		}
+		vals = append(vals, v)
+		labels = append(labels, row[0])
+	}
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	b.WriteString("posterior mean vs credit size (MB):\n")
+	for i, v := range vals {
+		bars := int((v - lo) / (hi - lo) * 50)
+		fmt.Fprintf(&b, "%8s |%s\n", labels[i], strings.Repeat("#", bars))
+	}
+	return b.String()
+}

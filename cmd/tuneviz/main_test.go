@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"bytescheduler/internal/experiments"
+)
+
+func TestSparkline(t *testing.T) {
+	tab := experiments.Table{
+		Rows: [][]string{
+			{"1.0", "100", "5"},
+			{"2.0", "200", "5"},
+			{"4.0", "150", "5"},
+		},
+	}
+	out := sparkline(tab)
+	if !strings.Contains(out, "1.0") || !strings.Contains(out, "#") {
+		t.Fatalf("sparkline output:\n%s", out)
+	}
+	// The 200-valued row must have the longest bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	count := func(s string) int { return strings.Count(s, "#") }
+	if count(lines[2]) <= count(lines[1]) || count(lines[2]) <= count(lines[3]) {
+		t.Fatalf("peak row not longest:\n%s", out)
+	}
+}
+
+func TestSparklineDegenerate(t *testing.T) {
+	if out := sparkline(experiments.Table{}); out != "" {
+		t.Fatalf("empty table sparkline = %q", out)
+	}
+	flat := experiments.Table{Rows: [][]string{{"1", "7", "0"}, {"2", "7", "0"}}}
+	if out := sparkline(flat); out == "" {
+		t.Fatal("flat posterior must still render")
+	}
+	bad := experiments.Table{Rows: [][]string{{"1", "not-a-number", "0"}}}
+	if out := sparkline(bad); out != "" {
+		t.Fatalf("unparseable rows should be skipped, got %q", out)
+	}
+}

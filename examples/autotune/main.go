@@ -1,0 +1,47 @@
+// Autotune: let the Bayesian-Optimization tuner find the best partition and
+// credit sizes for a setup, and compare against a hand-picked configuration
+// (§4.3, Table 1). All-reduce wants far larger partitions than PS because
+// every collective pays a synchronization cost across all workers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bs "bytescheduler"
+)
+
+func main() {
+	for _, arch := range []bs.Arch{bs.PS, bs.AllReduce} {
+		exp := bs.Experiment{
+			Model:         "Transformer",
+			Framework:     bs.MXNet,
+			Arch:          arch,
+			Transport:     bs.RDMA,
+			BandwidthGbps: 100,
+			GPUs:          16,
+			Policy:        bs.Vanilla(),
+		}
+
+		base, err := bs.Run(exp)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		tuned, err := bs.Tune(exp, 12, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("Transformer, MXNet %v RDMA, 16 GPUs\n", arch)
+		fmt.Printf("  baseline:  %8.0f tokens/s\n", base.SamplesPerSec)
+		fmt.Printf("  tuned:     %8.0f tokens/s  (%d trials)\n", tuned.SamplesPerSec, tuned.Trials)
+		fmt.Printf("  best:      partition %.1f MB, credit %.1f MB\n",
+			float64(tuned.Partition)/(1<<20), float64(tuned.Credit)/(1<<20))
+		fmt.Printf("  speedup:   %+.1f%%\n\n",
+			(tuned.SamplesPerSec-base.SamplesPerSec)/base.SamplesPerSec*100)
+	}
+	fmt.Println("the best (partition, credit) differs per architecture and model — at larger")
+	fmt.Println("scales all-reduce prefers much bigger partitions than PS (Table 1; run")
+	fmt.Println("`go run ./cmd/benchsuite -run TAB1 -full` to reproduce).")
+}

@@ -1,0 +1,54 @@
+// Compression: gradient compression is orthogonal and complementary to
+// communication scheduling (§8). Compression shrinks what crosses the wire;
+// the scheduler still decides the order — the two stack.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bs "bytescheduler"
+)
+
+func main() {
+	base := bs.Experiment{
+		Model:         "GNMT", // 1.1 GB of gradients: heavily communication-bound
+		Framework:     bs.MXNet,
+		Arch:          bs.PS,
+		Transport:     bs.RDMA,
+		BandwidthGbps: 100,
+		GPUs:          16,
+		Policy:        bs.Vanilla(),
+	}
+
+	show := func(label string, e bs.Experiment) bs.Measurement {
+		m, err := bs.Run(e)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-28s %9.0f tokens/s\n", label, m.SamplesPerSec)
+		return m
+	}
+
+	fmt.Println("GNMT, MXNet PS RDMA, 100Gbps, 16 GPUs")
+	show("vanilla FIFO", base)
+
+	sched := base
+	sched.Policy = bs.WithPartitionCredit(2<<20, 16<<20)
+	plain := show("ByteScheduler", sched)
+
+	fp16 := sched
+	fp16.Compression = "fp16"
+	show("ByteScheduler + fp16", fp16)
+
+	int8 := sched
+	int8.Compression = "int8"
+	show("ByteScheduler + int8", int8)
+
+	topk := sched
+	topk.Compression = "topk:0.01"
+	withTopK := show("ByteScheduler + top-1%", topk)
+
+	fmt.Printf("\ncompression on top of scheduling: %+.0f%% more\n",
+		bs.Speedup(plain, withTopK))
+}

@@ -1,0 +1,97 @@
+// Livescheduler: use the goroutine-safe scheduler directly, the way a real
+// communication library would embed it. A toy "transport" with one
+// concurrent send slot per direction stands in for the network; backward
+// propagation produces gradients from the output layer down, and the
+// scheduler reorders and partitions them so layer 0 — the tensor the next
+// forward pass needs first — finishes early despite being produced last.
+package main
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	bs "bytescheduler"
+)
+
+// transport simulates a FIFO network: one message at a time, 1 GB/s.
+type transport struct {
+	mu   sync.Mutex
+	sent []string
+}
+
+func (tr *transport) send(name string, bytes int64, done func()) {
+	tr.mu.Lock()
+	tr.sent = append(tr.sent, name)
+	tr.mu.Unlock()
+	go func() {
+		time.Sleep(time.Duration(float64(bytes) / 1e9 * float64(time.Second)))
+		done()
+	}()
+}
+
+func main() {
+	sched := bs.NewScheduler(bs.WithPartitionCredit(4<<20, 8<<20))
+	tr := &transport{}
+
+	layers := []struct {
+		name  string
+		layer int
+		bytes int64
+	}{
+		{"conv1", 0, 1 << 20},
+		{"conv2", 1, 8 << 20},
+		{"fc", 2, 32 << 20},
+	}
+
+	var wg sync.WaitGroup
+	finished := make([]time.Time, len(layers))
+	start := time.Now()
+	tasks := make([]*bs.CommTask, len(layers))
+	for i, l := range layers {
+		i, l := i, l
+		tasks[i] = &bs.CommTask{
+			Layer: l.layer,
+			Name:  l.name,
+			Bytes: l.bytes,
+			Start: func(sub bs.SubTask, done func()) {
+				tr.send(fmt.Sprintf("%s[%d/%d]", l.name, sub.Index, sub.Count), sub.Bytes, done)
+			},
+			OnFinished: func() {
+				finished[i] = time.Now()
+				wg.Done()
+			},
+		}
+		wg.Add(1)
+		if err := sched.Enqueue(tasks[i]); err != nil {
+			panic(err)
+		}
+	}
+
+	// Backward propagation: gradients become ready from the LAST layer to
+	// the first, with a little compute time in between.
+	for i := len(tasks) - 1; i >= 0; i-- {
+		time.Sleep(3 * time.Millisecond)
+		if err := sched.NotifyReady(tasks[i]); err != nil {
+			panic(err)
+		}
+	}
+	wg.Wait()
+	sched.Shutdown()
+
+	fmt.Println("completion order (layer 0 should finish before the big fc tensor):")
+	order := make([]int, len(layers))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return finished[order[a]].Before(finished[order[b]]) })
+	for _, i := range order {
+		fmt.Printf("  %-5s (layer %d, %2d MB) finished at %6.1fms\n",
+			layers[i].name, layers[i].layer, layers[i].bytes>>20,
+			float64(finished[i].Sub(start).Microseconds())/1000)
+	}
+	st := sched.Stats()
+	fmt.Printf("scheduler: %d tasks, %d partitions, %d preemptions\n",
+		st.TasksEnqueued, st.SubsStarted, st.Preemptions)
+}

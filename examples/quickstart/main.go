@@ -1,0 +1,46 @@
+// Quickstart: compare vanilla FIFO communication against ByteScheduler on
+// the paper's headline setup — VGG16, MXNet-style engine, parameter servers
+// over 100 Gbps RDMA, 32 GPUs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bs "bytescheduler"
+)
+
+func main() {
+	exp := bs.Experiment{
+		Model:         "VGG16",
+		Framework:     bs.MXNet,
+		Arch:          bs.PS,
+		Transport:     bs.RDMA,
+		BandwidthGbps: 100,
+		GPUs:          32,
+		Policy:        bs.Vanilla(),
+	}
+
+	base, err := bs.Run(exp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	exp.Policy = bs.WithPartitionCredit(2<<20, 8<<20) // 2 MB partitions, 8 MB credit
+	sched, err := bs.Run(exp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	linear, err := bs.Linear(exp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("VGG16, MXNet PS RDMA, 100Gbps, %d GPUs\n", exp.GPUs)
+	fmt.Printf("  vanilla FIFO:    %8.0f %s/s\n", base.SamplesPerSec, base.SampleUnit)
+	fmt.Printf("  ByteScheduler:   %8.0f %s/s  (%d preemptions)\n",
+		sched.SamplesPerSec, sched.SampleUnit, sched.Preemptions)
+	fmt.Printf("  linear scaling:  %8.0f %s/s\n", linear, base.SampleUnit)
+	fmt.Printf("  speedup:         %+7.1f%%\n", bs.Speedup(base, sched))
+}

@@ -1,0 +1,3 @@
+module bytescheduler
+
+go 1.22

@@ -1,0 +1,29 @@
+package allreduce
+
+import (
+	"testing"
+
+	"bytescheduler/internal/sim"
+	"bytescheduler/internal/trace"
+)
+
+func TestRingTraceRecordsOps(t *testing.T) {
+	eng := sim.New()
+	r := newRing(t, eng, 4)
+	rec := trace.New()
+	r.SetTrace(rec)
+	r.Submit(&Op{Bytes: 1 << 20, Prio: 2})
+	r.Submit(&Op{Bytes: 1 << 20, Prio: 0})
+	eng.Run()
+	spans := rec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Lane != "ring" || spans[0].Name != "ar L2" {
+		t.Fatalf("first span %+v", spans[0])
+	}
+	// Serial ring: spans must not overlap.
+	if spans[1].Start < spans[0].End-1e-12 {
+		t.Fatalf("overlapping collectives: %+v", spans)
+	}
+}

@@ -1,0 +1,149 @@
+// Package compress models gradient compression — the related-work direction
+// the paper calls "orthogonal and complementary to ByteScheduler" (§8:
+// quantization such as QSGD/TernGrad, sparse synchronization). Compression
+// shrinks the bytes every scheduler decision moves and adds a codec cost on
+// the gradient-ready path; it does not change the DAG, so scheduling
+// composes with it.
+//
+// Accuracy effects of lossy compression are out of scope (the simulator
+// does not train); only the systems costs are modeled.
+package compress
+
+import (
+	"fmt"
+
+	"bytescheduler/internal/model"
+	"bytescheduler/internal/tensor"
+)
+
+// Method selects the compression scheme.
+type Method int
+
+const (
+	// None is the identity.
+	None Method = iota
+	// FP16 casts fp32 gradients to half precision: 2x smaller, very
+	// cheap codec.
+	FP16
+	// Int8 quantizes to 8-bit with per-tensor scales (QSGD-style): 4x
+	// smaller, moderate codec cost.
+	Int8
+	// TopK sends the largest-magnitude fraction of values with their
+	// indices (sparse synchronization): size 2*ratio of the original
+	// (value + index per kept element), expensive selection.
+	TopK
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case None:
+		return "none"
+	case FP16:
+		return "fp16"
+	case Int8:
+		return "int8"
+	case TopK:
+		return "topk"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// Compressor describes one compression configuration.
+type Compressor struct {
+	// Method selects the scheme.
+	Method Method
+	// KeepRatio is the fraction of elements kept by TopK (ignored
+	// otherwise).
+	KeepRatio float64
+	// CodecBytesPerSec is the encode+decode throughput per original byte
+	// (GPU-side casting/quantization/selection).
+	CodecBytesPerSec float64
+}
+
+// NewFP16 returns the half-precision compressor.
+func NewFP16() Compressor {
+	return Compressor{Method: FP16, CodecBytesPerSec: 200e9}
+}
+
+// NewInt8 returns the 8-bit quantization compressor.
+func NewInt8() Compressor {
+	return Compressor{Method: Int8, CodecBytesPerSec: 80e9}
+}
+
+// NewTopK returns a sparse compressor keeping the given fraction of
+// elements (e.g. 0.01 for top-1%).
+func NewTopK(keep float64) Compressor {
+	return Compressor{Method: TopK, KeepRatio: keep, CodecBytesPerSec: 25e9}
+}
+
+// Validate reports configuration errors.
+func (c Compressor) Validate() error {
+	switch c.Method {
+	case None, FP16, Int8:
+	case TopK:
+		if c.KeepRatio <= 0 || c.KeepRatio > 1 {
+			return fmt.Errorf("compress: top-k keep ratio %v out of (0,1]", c.KeepRatio)
+		}
+	default:
+		return fmt.Errorf("compress: unknown method %d", int(c.Method))
+	}
+	if c.Method != None && c.CodecBytesPerSec <= 0 {
+		return fmt.Errorf("compress: non-positive codec throughput")
+	}
+	return nil
+}
+
+// Ratio returns the compressed-size multiplier.
+func (c Compressor) Ratio() float64 {
+	switch c.Method {
+	case FP16:
+		return 0.5
+	case Int8:
+		return 0.25
+	case TopK:
+		// Each kept fp32 value carries a 4-byte index.
+		return 2 * c.KeepRatio
+	default:
+		return 1
+	}
+}
+
+// CodecSecPerByte returns the encode+decode latency per original gradient
+// byte.
+func (c Compressor) CodecSecPerByte() float64 {
+	if c.Method == None {
+		return 0
+	}
+	return 1 / c.CodecBytesPerSec
+}
+
+// Apply returns a derived model whose tensors carry the compressed sizes —
+// what the communication substrate actually moves. Layer structure, compute
+// calibration and priorities are unchanged. Tensor sizes are floored at 4
+// bytes so degenerate ratios cannot produce empty tensors.
+func (c Compressor) Apply(m *model.Model) *model.Model {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	ratio := c.Ratio()
+	if ratio == 1 {
+		return m
+	}
+	out := *m
+	out.Layers = make([]model.Layer, len(m.Layers))
+	for i, l := range m.Layers {
+		nl := l
+		nl.Tensors = make([]tensor.Tensor, len(l.Tensors))
+		for j, t := range l.Tensors {
+			nt := t
+			nt.Bytes = int64(float64(t.Bytes) * ratio)
+			if nt.Bytes < 4 {
+				nt.Bytes = 4
+			}
+			nl.Tensors[j] = nt
+		}
+		out.Layers[i] = nl
+	}
+	return &out
+}

@@ -1,0 +1,99 @@
+package compress
+
+import (
+	"testing"
+
+	"bytescheduler/internal/model"
+)
+
+func TestRatios(t *testing.T) {
+	if NewFP16().Ratio() != 0.5 {
+		t.Fatal("fp16 ratio")
+	}
+	if NewInt8().Ratio() != 0.25 {
+		t.Fatal("int8 ratio")
+	}
+	if NewTopK(0.01).Ratio() != 0.02 {
+		t.Fatal("topk ratio must include index overhead")
+	}
+	if (Compressor{Method: None}).Ratio() != 1 {
+		t.Fatal("none ratio")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	for _, c := range []Compressor{NewFP16(), NewInt8(), NewTopK(0.01), {Method: None}} {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%v: %v", c.Method, err)
+		}
+	}
+	bad := []Compressor{
+		{Method: TopK, KeepRatio: 0, CodecBytesPerSec: 1},
+		{Method: TopK, KeepRatio: 1.5, CodecBytesPerSec: 1},
+		{Method: FP16, CodecBytesPerSec: 0},
+		{Method: Method(9)},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad compressor %d accepted", i)
+		}
+	}
+}
+
+func TestCodecCost(t *testing.T) {
+	if (Compressor{Method: None}).CodecSecPerByte() != 0 {
+		t.Fatal("identity codec must be free")
+	}
+	if NewFP16().CodecSecPerByte() >= NewTopK(0.01).CodecSecPerByte() {
+		t.Fatal("top-k selection must cost more than a cast")
+	}
+}
+
+func TestApplyScalesSizes(t *testing.T) {
+	m := model.VGG16()
+	half := NewFP16().Apply(m)
+	if half.TotalBytes() != m.TotalBytes()/2 {
+		t.Fatalf("fp16 total = %d, want %d", half.TotalBytes(), m.TotalBytes()/2)
+	}
+	// Original untouched.
+	if m.TotalBytes() != model.VGG16().TotalBytes() {
+		t.Fatal("Apply mutated the source model")
+	}
+	// Structure preserved.
+	if half.NumLayers() != m.NumLayers() || half.PerGPUSpeed != m.PerGPUSpeed {
+		t.Fatal("Apply changed non-size fields")
+	}
+	if err := half.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyIdentity(t *testing.T) {
+	m := model.VGG16()
+	if got := (Compressor{Method: None}).Apply(m); got != m {
+		t.Fatal("identity Apply should return the same model")
+	}
+}
+
+func TestApplyFloorsTinyTensors(t *testing.T) {
+	m := model.Synthetic("s", 2, 40, 0.01) // 40-byte layers
+	sparse := NewTopK(0.001).Apply(m)
+	for _, l := range sparse.Layers {
+		for _, tt := range l.Tensors {
+			if tt.Bytes < 4 {
+				t.Fatalf("tensor shrank below floor: %d", tt.Bytes)
+			}
+		}
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	for m, want := range map[Method]string{None: "none", FP16: "fp16", Int8: "int8", TopK: "topk"} {
+		if m.String() != want {
+			t.Errorf("%d = %q", int(m), m.String())
+		}
+	}
+	if Method(9).String() == "" {
+		t.Error("unknown method must format")
+	}
+}

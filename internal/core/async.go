@@ -1,0 +1,97 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"bytescheduler/internal/tensor"
+)
+
+// ErrShutdown is returned by AsyncScheduler methods after Shutdown.
+var ErrShutdown = errors.New("core: scheduler shut down")
+
+// AsyncScheduler wraps Scheduler behind a mutex and a completion worker so
+// it can be driven from many goroutines — the shape a live deployment needs,
+// where framework engine threads post tasks and network completion handlers
+// return credit concurrently.
+//
+// All policy semantics are identical to Scheduler: AsyncScheduler contains
+// one and delegates every decision to it.
+type AsyncScheduler struct {
+	mu   sync.Mutex
+	s    *Scheduler
+	down bool
+	wg   sync.WaitGroup
+}
+
+// NewAsync returns a concurrent scheduler for the given policy.
+func NewAsync(policy Policy) *AsyncScheduler {
+	return &AsyncScheduler{s: New(policy)}
+}
+
+// Policy returns the scheduler policy.
+func (a *AsyncScheduler) Policy() Policy { return a.s.policy }
+
+// Enqueue registers a CommTask. The task's Start function will be invoked
+// with the scheduler lock held released — substrates may block or call done
+// from any goroutine.
+func (a *AsyncScheduler) Enqueue(t *Task) error {
+	if t == nil || t.Start == nil {
+		return errors.New("core: task must have a Start function")
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.down {
+		return ErrShutdown
+	}
+	// Wrap Start so the substrate runs outside the lock and done re-enters
+	// safely.
+	inner := t.Start
+	t.Start = func(sub tensor.Sub, done func()) {
+		a.wg.Add(1)
+		go func() {
+			defer a.wg.Done()
+			inner(sub, func() {
+				a.mu.Lock()
+				defer a.mu.Unlock()
+				done()
+			})
+		}()
+	}
+	a.s.Enqueue(t)
+	return nil
+}
+
+// NotifyReady marks a task's tensor as computed.
+func (a *AsyncScheduler) NotifyReady(t *Task) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.down {
+		return ErrShutdown
+	}
+	a.s.NotifyReady(t)
+	return nil
+}
+
+// Stats snapshots the underlying counters.
+func (a *AsyncScheduler) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.s.Stats()
+}
+
+// Drained reports whether nothing is queued or in flight.
+func (a *AsyncScheduler) Drained() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.s.Pending() == 0 && a.s.InFlight() == 0
+}
+
+// Shutdown stops accepting work and waits for in-flight transmissions to
+// complete.
+func (a *AsyncScheduler) Shutdown() {
+	a.mu.Lock()
+	a.down = true
+	a.mu.Unlock()
+	a.wg.Wait()
+}

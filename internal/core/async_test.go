@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bytescheduler/internal/tensor"
+)
+
+func TestAsyncBasic(t *testing.T) {
+	a := NewAsync(ByteScheduler(100, 0))
+	var started atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(3)
+	task := &Task{
+		Tensor: tensor.Tensor{Layer: 0, Name: "w", Bytes: 300},
+		Start: func(sub tensor.Sub, done func()) {
+			started.Add(1)
+			done()
+			wg.Done()
+		},
+	}
+	if err := a.Enqueue(task); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.NotifyReady(task); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got := started.Load(); got != 3 {
+		t.Fatalf("started = %d, want 3", got)
+	}
+	a.Shutdown()
+	if !a.Drained() {
+		t.Fatal("not drained after shutdown")
+	}
+}
+
+func TestAsyncStopAndWaitUnderConcurrency(t *testing.T) {
+	// With credit == partition, at most one sub may be in flight at any
+	// instant, even when completions come from other goroutines.
+	a := NewAsync(ByteScheduler(10, 10))
+	var inflight, maxInflight atomic.Int64
+	var wg sync.WaitGroup
+	const subs = 50
+	wg.Add(subs)
+	task := &Task{
+		Tensor: tensor.Tensor{Layer: 0, Name: "w", Bytes: 10 * subs},
+		Start: func(sub tensor.Sub, done func()) {
+			cur := inflight.Add(1)
+			for {
+				old := maxInflight.Load()
+				if cur <= old || maxInflight.CompareAndSwap(old, cur) {
+					break
+				}
+			}
+			time.Sleep(time.Microsecond)
+			inflight.Add(-1)
+			done()
+			wg.Done()
+		},
+	}
+	if err := a.Enqueue(task); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.NotifyReady(task); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	a.Shutdown()
+	if got := maxInflight.Load(); got != 1 {
+		t.Fatalf("max in flight = %d, want 1", got)
+	}
+}
+
+func TestAsyncManyProducers(t *testing.T) {
+	a := NewAsync(ByteScheduler(1<<20, 8<<20))
+	var completed atomic.Int64
+	var wg sync.WaitGroup
+	const producers = 8
+	const tasksPer = 20
+	var allDone sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < tasksPer; i++ {
+				allDone.Add(1)
+				task := &Task{
+					Tensor: tensor.Tensor{Layer: p, Name: "w", Bytes: 1 << 20},
+					Start: func(sub tensor.Sub, done func()) {
+						completed.Add(1)
+						done()
+					},
+					OnFinished: func() { allDone.Done() },
+				}
+				if err := a.Enqueue(task); err != nil {
+					t.Error(err)
+					allDone.Done()
+					return
+				}
+				if err := a.NotifyReady(task); err != nil {
+					t.Error(err)
+					allDone.Done()
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	allDone.Wait()
+	a.Shutdown()
+	if got := completed.Load(); got != producers*tasksPer {
+		t.Fatalf("completed = %d, want %d", got, producers*tasksPer)
+	}
+	st := a.Stats()
+	if st.SubsStarted != st.SubsFinished {
+		t.Fatalf("in-flight leak: %+v", st)
+	}
+}
+
+func TestAsyncShutdownRejects(t *testing.T) {
+	a := NewAsync(FIFO())
+	a.Shutdown()
+	task := &Task{Tensor: tensor.Tensor{Bytes: 1}, Start: func(tensor.Sub, func()) {}}
+	if err := a.Enqueue(task); err != ErrShutdown {
+		t.Fatalf("Enqueue after shutdown = %v, want ErrShutdown", err)
+	}
+	if err := a.NotifyReady(task); err != ErrShutdown {
+		t.Fatalf("NotifyReady after shutdown = %v, want ErrShutdown", err)
+	}
+}
+
+func TestAsyncNilTask(t *testing.T) {
+	a := NewAsync(FIFO())
+	if err := a.Enqueue(nil); err == nil {
+		t.Fatal("nil task accepted")
+	}
+	if err := a.Enqueue(&Task{}); err == nil {
+		t.Fatal("task without Start accepted")
+	}
+}

@@ -1,0 +1,399 @@
+// Package core implements the ByteScheduler Core: the framework-agnostic,
+// communication-method-agnostic tensor scheduler of the paper (§3.2, §4,
+// Algorithm 1).
+//
+// The Core accepts CommTasks — one per communication tensor — through a
+// unified abstraction, partitions them into SubCommTasks no larger than the
+// policy's partition unit, and releases them to the underlying communication
+// stack in priority order under credit-based preemption: the credit is a
+// byte budget of in-flight data, a sliding window that keeps the network
+// send buffer full (good utilization) while bounding how much low-priority
+// data can be ahead of a newly arrived high-priority tensor (timely
+// preemption).
+//
+// The scheduler in this package is synchronous and event-driven: callers
+// (framework plugins and the substrates' completion callbacks) invoke it
+// inline, so it composes with the deterministic discrete-event simulator.
+// AsyncScheduler wraps the same logic behind goroutine-safe channels for
+// live use.
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"bytescheduler/internal/tensor"
+)
+
+// PriorityFn maps a tensor and its arrival sequence to a priority; lower
+// values are scheduled first. A nil PriorityFn means FIFO (arrival order).
+type PriorityFn func(t tensor.Tensor, arrivalSeq uint64) int64
+
+// LayerPriority is the paper's priority function: the index of the DNN
+// layer, counted from the input. Layers near the input are needed first by
+// the next iteration's forward pass, so they get the smallest values.
+func LayerPriority(t tensor.Tensor, _ uint64) int64 { return int64(t.Layer) }
+
+// Policy configures a scheduler.
+type Policy struct {
+	// Name identifies the policy in reports, e.g. "bytescheduler".
+	Name string
+	// PartitionUnit is the maximum SubCommTask size in bytes; 0 disables
+	// partitioning.
+	PartitionUnit int64
+	// CreditBytes is the credit (sliding-window) size in bytes; 0 means
+	// unlimited (no preemption control, pure priority queueing at
+	// admission).
+	CreditBytes int64
+	// Priority orders ready SubCommTasks; nil means FIFO.
+	Priority PriorityFn
+	// PartitionFn, if non-nil, overrides PartitionUnit per tensor — the
+	// paper's §7 "different partition and credit sizes for different
+	// layers" extension. Returning 0 disables partitioning for that
+	// tensor.
+	PartitionFn func(t tensor.Tensor) int64
+}
+
+// Validate reports configuration errors.
+func (p Policy) Validate() error {
+	if p.PartitionUnit < 0 {
+		return fmt.Errorf("core: negative partition unit %d", p.PartitionUnit)
+	}
+	if p.CreditBytes < 0 {
+		return fmt.Errorf("core: negative credit %d", p.CreditBytes)
+	}
+	return nil
+}
+
+// FIFO returns the baseline policy of vanilla frameworks: no partitioning,
+// no admission control, transmission in arrival order.
+func FIFO() Policy {
+	return Policy{Name: "fifo"}
+}
+
+// P3DefaultPartition is P3's default partition size (§2.3).
+const P3DefaultPartition = 160 << 10
+
+// P3 returns the policy of Jayarajan et al.'s P3 scheduler: fixed 160 KB
+// partitions, layer priority, and stop-and-wait transmission (credit equal
+// to one partition, i.e. one unacknowledged tensor at a time).
+func P3() Policy {
+	return Policy{
+		Name:          "p3",
+		PartitionUnit: P3DefaultPartition,
+		CreditBytes:   P3DefaultPartition,
+		Priority:      LayerPriority,
+	}
+}
+
+// TicTacLike returns a priority-only policy: layer-order scheduling without
+// tensor partitioning or credit control, approximating TicTac's
+// order-optimization-only approach.
+func TicTacLike() Policy {
+	return Policy{Name: "tictac", Priority: LayerPriority}
+}
+
+// ByteScheduler returns the paper's policy with the given partition unit
+// and credit size (both in bytes).
+func ByteScheduler(partitionUnit, creditBytes int64) Policy {
+	return Policy{
+		Name:          "bytescheduler",
+		PartitionUnit: partitionUnit,
+		CreditBytes:   creditBytes,
+		Priority:      LayerPriority,
+	}
+}
+
+// StartFn begins transmission of one SubCommTask on the underlying
+// communication stack (push+pull for PS, all-reduce for collectives — the
+// plugin decides). It must eventually invoke done exactly once, when the
+// communication has finished and credit may be returned (notify_finish).
+type StartFn func(sub tensor.Sub, done func())
+
+// Task is a CommTask: the unified abstraction for one tensor's
+// communication.
+type Task struct {
+	// Tensor is the communication payload.
+	Tensor tensor.Tensor
+	// Start launches one partition. Required.
+	Start StartFn
+	// OnFinished, if non-nil, fires once when every partition of the task
+	// has completed.
+	OnFinished func()
+
+	subs      []tensor.Sub
+	remaining int
+	enqueued  bool
+	ready     bool
+}
+
+// Subs returns the task's partitions; valid after Enqueue.
+func (t *Task) Subs() []tensor.Sub { return t.subs }
+
+type queueItem struct {
+	sub     tensor.Sub
+	task    *Task
+	prio    int64
+	seq     uint64
+	idx     int
+	started bool
+}
+
+type priorityQueue []*queueItem
+
+func (q priorityQueue) Len() int { return len(q) }
+
+func (q priorityQueue) Less(i, j int) bool {
+	if q[i].prio != q[j].prio {
+		return q[i].prio < q[j].prio
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q priorityQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *priorityQueue) Push(x any) {
+	it := x.(*queueItem)
+	it.idx = len(*q)
+	*q = append(*q, it)
+}
+
+func (q *priorityQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Stats are scheduler counters for analysis and tests.
+type Stats struct {
+	// TasksEnqueued counts Enqueue calls.
+	TasksEnqueued uint64
+	// SubsStarted counts partitions released to the network.
+	SubsStarted uint64
+	// SubsFinished counts completed partitions.
+	SubsFinished uint64
+	// Preemptions counts starts where the released partition arrived later
+	// than some partition still waiting in the queue — i.e. it jumped
+	// ahead thanks to priority.
+	Preemptions uint64
+	// MaxQueueLen is the high-water mark of the ready queue.
+	MaxQueueLen int
+	// MaxInflightBytes is the high-water mark of in-flight bytes.
+	MaxInflightBytes int64
+}
+
+// Scheduler implements Algorithm 1.
+type Scheduler struct {
+	policy Policy
+	queue  priorityQueue
+	// arrivals mirrors queue ordered by arrival seq (lazily pruned of
+	// started items); it answers "is an earlier arrival still waiting?" in
+	// amortized O(log n) for the preemption counter.
+	arrivals      seqQueue
+	seq           uint64
+	credit        int64 // remaining credit; meaningful when limited
+	limited       bool
+	inflight      int
+	inflightBytes int64
+	stats         Stats
+	scheduling    bool
+}
+
+// seqQueue is a min-heap of queueItems by arrival seq.
+type seqQueue []*queueItem
+
+func (q seqQueue) Len() int           { return len(q) }
+func (q seqQueue) Less(i, j int) bool { return q[i].seq < q[j].seq }
+func (q seqQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *seqQueue) Push(x any)        { *q = append(*q, x.(*queueItem)) }
+func (q *seqQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// New returns a scheduler for the given policy. It panics on an invalid
+// policy, surfacing configuration bugs at construction.
+func New(policy Policy) *Scheduler {
+	if err := policy.Validate(); err != nil {
+		panic(err)
+	}
+	return &Scheduler{
+		policy:  policy,
+		credit:  policy.CreditBytes,
+		limited: policy.CreditBytes > 0,
+	}
+}
+
+// Policy returns the scheduler's policy.
+func (s *Scheduler) Policy() Policy { return s.policy }
+
+// Stats returns a snapshot of the scheduler counters.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// Pending returns the number of ready partitions waiting in the queue.
+func (s *Scheduler) Pending() int { return len(s.queue) }
+
+// InFlight returns the number of partitions currently in the network.
+func (s *Scheduler) InFlight() int { return s.inflight }
+
+// CreditAvailable returns the remaining credit in bytes; -1 when unlimited.
+func (s *Scheduler) CreditAvailable() int64 {
+	if !s.limited {
+		return -1
+	}
+	return s.credit
+}
+
+// Enqueue registers a CommTask with the Core and partitions it
+// (CommTask.partition). The task is not transmitted until NotifyReady —
+// most frameworks post communication operations before the tensor is
+// computed.
+func (s *Scheduler) Enqueue(t *Task) {
+	if t == nil || t.Start == nil {
+		panic("core: task must have a Start function")
+	}
+	if t.enqueued {
+		panic(fmt.Sprintf("core: task %s enqueued twice", t.Tensor))
+	}
+	t.enqueued = true
+	unit := s.policy.PartitionUnit
+	if s.policy.PartitionFn != nil {
+		unit = s.policy.PartitionFn(t.Tensor)
+	}
+	t.subs = tensor.Partition(t.Tensor, unit)
+	t.remaining = len(t.subs)
+	s.stats.TasksEnqueued++
+}
+
+// SetPartitionUnit changes the partition size for tasks enqueued from now
+// on; in-flight and already-partitioned tasks are unaffected. A per-layer
+// PartitionFn, if any, is cleared — the tuner takes over the knob. This
+// supports the paper's runtime auto-tuning, which adjusts the knob between
+// profiling windows (§5: all-reduce adjusts without stopping training).
+func (s *Scheduler) SetPartitionUnit(unit int64) {
+	if unit < 0 {
+		panic("core: negative partition unit")
+	}
+	s.policy.PartitionUnit = unit
+	s.policy.PartitionFn = nil
+}
+
+// SetCredit changes the credit window live. The delta is applied to the
+// available credit, so in-flight bytes keep their reservations; shrinking
+// below the currently in-flight volume simply delays new admissions until
+// enough credit returns. Setting 0 makes the credit unlimited.
+func (s *Scheduler) SetCredit(creditBytes int64) {
+	if creditBytes < 0 {
+		panic("core: negative credit")
+	}
+	old := s.policy.CreditBytes
+	s.policy.CreditBytes = creditBytes
+	switch {
+	case creditBytes == 0:
+		s.limited = false
+	case !s.limited:
+		s.limited = true
+		s.credit = creditBytes - s.inflightBytes
+	default:
+		s.credit += creditBytes - old
+	}
+	s.schedule()
+}
+
+// NotifyReady marks the task's tensor as computed (CommTask.notify_ready):
+// its partitions enter the priority queue and become eligible for
+// transmission.
+func (s *Scheduler) NotifyReady(t *Task) {
+	if !t.enqueued {
+		panic(fmt.Sprintf("core: NotifyReady before Enqueue for %s", t.Tensor))
+	}
+	if t.ready {
+		panic(fmt.Sprintf("core: task %s ready twice", t.Tensor))
+	}
+	t.ready = true
+	for _, sub := range t.subs {
+		s.seq++
+		prio := int64(s.seq)
+		if s.policy.Priority != nil {
+			prio = s.policy.Priority(t.Tensor, s.seq)
+		}
+		it := &queueItem{sub: sub, task: t, prio: prio, seq: s.seq}
+		heap.Push(&s.queue, it)
+		heap.Push(&s.arrivals, it)
+	}
+	if len(s.queue) > s.stats.MaxQueueLen {
+		s.stats.MaxQueueLen = len(s.queue)
+	}
+	s.schedule()
+}
+
+// schedule releases queued partitions while credit allows (Algorithm 1,
+// procedure SCHEDULE). To avoid deadlock on partitions larger than the
+// whole credit, the head is always released when nothing is in flight.
+func (s *Scheduler) schedule() {
+	if s.scheduling {
+		return // re-entrant call from a done callback inside start
+	}
+	s.scheduling = true
+	defer func() { s.scheduling = false }()
+	for len(s.queue) > 0 {
+		head := s.queue[0]
+		if s.limited && s.credit < head.sub.Bytes && s.inflight > 0 {
+			return // wait until a subtask finishes and returns credit
+		}
+		heap.Pop(&s.queue)
+		s.start(head)
+	}
+}
+
+func (s *Scheduler) start(it *queueItem) {
+	it.started = true
+	// A started partition that arrived after a still-queued one means
+	// priority let it jump the line. Prune already-started arrivals lazily.
+	for len(s.arrivals) > 0 && s.arrivals[0].started {
+		heap.Pop(&s.arrivals)
+	}
+	if len(s.arrivals) > 0 && s.arrivals[0].seq < it.seq {
+		s.stats.Preemptions++
+	}
+	if s.limited {
+		s.credit -= it.sub.Bytes
+	}
+	s.inflight++
+	s.inflightBytes += it.sub.Bytes
+	if s.inflightBytes > s.stats.MaxInflightBytes {
+		s.stats.MaxInflightBytes = s.inflightBytes
+	}
+	s.stats.SubsStarted++
+	task := it.task
+	sub := it.sub
+	finished := false
+	task.Start(sub, func() {
+		if finished {
+			panic(fmt.Sprintf("core: done called twice for %s", sub))
+		}
+		finished = true
+		if s.limited {
+			s.credit += sub.Bytes
+		}
+		s.inflight--
+		s.inflightBytes -= sub.Bytes
+		s.stats.SubsFinished++
+		task.remaining--
+		if task.remaining == 0 && task.OnFinished != nil {
+			task.OnFinished()
+		}
+		s.schedule()
+	})
+}

@@ -1,0 +1,368 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"bytescheduler/internal/tensor"
+)
+
+// fakeNet collects started subs and lets the test complete them manually.
+type fakeNet struct {
+	started []tensor.Sub
+	dones   []func()
+}
+
+func (f *fakeNet) start(sub tensor.Sub, done func()) {
+	f.started = append(f.started, sub)
+	f.dones = append(f.dones, done)
+}
+
+// finishNext completes the oldest unfinished sub.
+func (f *fakeNet) finishNext() {
+	done := f.dones[0]
+	f.dones = f.dones[1:]
+	done()
+}
+
+func mkTask(net *fakeNet, layer int, bytes int64) *Task {
+	return &Task{
+		Tensor: tensor.Tensor{Layer: layer, Name: "w", Bytes: bytes},
+		Start:  net.start,
+	}
+}
+
+func TestPolicyConstructors(t *testing.T) {
+	if p := FIFO(); p.PartitionUnit != 0 || p.CreditBytes != 0 || p.Priority != nil {
+		t.Fatalf("FIFO = %+v", p)
+	}
+	if p := P3(); p.PartitionUnit != P3DefaultPartition || p.CreditBytes != P3DefaultPartition {
+		t.Fatalf("P3 = %+v", p)
+	}
+	if p := ByteScheduler(4<<20, 16<<20); p.PartitionUnit != 4<<20 || p.CreditBytes != 16<<20 {
+		t.Fatalf("ByteScheduler = %+v", p)
+	}
+	if p := TicTacLike(); p.PartitionUnit != 0 || p.Priority == nil {
+		t.Fatalf("TicTacLike = %+v", p)
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	if err := (Policy{PartitionUnit: -1}).Validate(); err == nil {
+		t.Error("negative partition accepted")
+	}
+	if err := (Policy{CreditBytes: -1}).Validate(); err == nil {
+		t.Error("negative credit accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New accepted invalid policy")
+		}
+	}()
+	New(Policy{PartitionUnit: -1})
+}
+
+func TestFIFOOrder(t *testing.T) {
+	net := &fakeNet{}
+	s := New(FIFO())
+	// Tasks arrive in backward-propagation order: layer 2, then 1, then 0.
+	for _, layer := range []int{2, 1, 0} {
+		task := mkTask(net, layer, 100)
+		s.Enqueue(task)
+		s.NotifyReady(task)
+	}
+	if len(net.started) != 3 {
+		t.Fatalf("started %d, want 3 (unlimited credit)", len(net.started))
+	}
+	for i, want := range []int{2, 1, 0} {
+		if net.started[i].Parent.Layer != want {
+			t.Fatalf("FIFO start order %v", net.started)
+		}
+	}
+	if s.Stats().Preemptions != 0 {
+		t.Fatal("FIFO must not preempt")
+	}
+}
+
+func TestPriorityOrderWithCredit(t *testing.T) {
+	net := &fakeNet{}
+	s := New(ByteScheduler(100, 100)) // stop-and-wait
+	// Layer 2 arrives first and starts; layers 1 and 0 queue up.
+	for _, layer := range []int{2, 1, 0} {
+		task := mkTask(net, layer, 100)
+		s.Enqueue(task)
+		s.NotifyReady(task)
+	}
+	if len(net.started) != 1 {
+		t.Fatalf("started %d, want 1", len(net.started))
+	}
+	net.finishNext()
+	net.finishNext()
+	net.finishNext()
+	// After the in-flight layer-2 finishes, layer 0 must jump ahead of
+	// layer 1.
+	want := []int{2, 0, 1}
+	for i := range want {
+		if net.started[i].Parent.Layer != want[i] {
+			t.Fatalf("start order %v, want layers %v", net.started, want)
+		}
+	}
+	if s.Stats().Preemptions == 0 {
+		t.Fatal("expected a recorded preemption")
+	}
+}
+
+func TestPartitioning(t *testing.T) {
+	net := &fakeNet{}
+	s := New(ByteScheduler(100, 0))
+	task := mkTask(net, 0, 250)
+	s.Enqueue(task)
+	if got := len(task.Subs()); got != 3 {
+		t.Fatalf("partitions = %d, want 3", got)
+	}
+	s.NotifyReady(task)
+	if len(net.started) != 3 {
+		t.Fatalf("started = %d, want 3 with unlimited credit", len(net.started))
+	}
+	var bytes int64
+	for _, sub := range net.started {
+		bytes += sub.Bytes
+	}
+	if bytes != 250 {
+		t.Fatalf("started bytes = %d, want 250", bytes)
+	}
+}
+
+func TestCreditWindow(t *testing.T) {
+	net := &fakeNet{}
+	s := New(ByteScheduler(100, 250)) // window of 2.5 partitions
+	task := mkTask(net, 0, 1000)
+	s.Enqueue(task)
+	s.NotifyReady(task)
+	if len(net.started) != 2 {
+		t.Fatalf("in flight = %d, want 2 (credit 250, subs of 100)", len(net.started))
+	}
+	if got := s.CreditAvailable(); got != 50 {
+		t.Fatalf("credit = %d, want 50", got)
+	}
+	net.finishNext()
+	if len(net.started) != 3 {
+		t.Fatalf("after one finish, started = %d, want 3", len(net.started))
+	}
+}
+
+func TestStopAndWait(t *testing.T) {
+	net := &fakeNet{}
+	s := New(P3())
+	task := mkTask(net, 0, 5*P3DefaultPartition)
+	s.Enqueue(task)
+	s.NotifyReady(task)
+	for i := 1; i <= 5; i++ {
+		if len(net.started) != i {
+			t.Fatalf("stop-and-wait violated: %d in flight at step %d", len(net.started), i)
+		}
+		if s.InFlight() != 1 {
+			t.Fatalf("InFlight = %d, want 1", s.InFlight())
+		}
+		net.finishNext()
+	}
+	if s.InFlight() != 0 || s.Pending() != 0 {
+		t.Fatal("scheduler not drained")
+	}
+}
+
+func TestOversizedSubStartsWhenIdle(t *testing.T) {
+	net := &fakeNet{}
+	s := New(Policy{Name: "x", PartitionUnit: 0, CreditBytes: 10, Priority: LayerPriority})
+	task := mkTask(net, 0, 1000) // single sub larger than total credit
+	s.Enqueue(task)
+	s.NotifyReady(task)
+	if len(net.started) != 1 {
+		t.Fatal("oversized sub must start when nothing is in flight")
+	}
+	// A second oversized task must wait for the first.
+	task2 := mkTask(net, 1, 1000)
+	s.Enqueue(task2)
+	s.NotifyReady(task2)
+	if len(net.started) != 1 {
+		t.Fatal("second oversized sub must wait")
+	}
+	net.finishNext()
+	if len(net.started) != 2 {
+		t.Fatal("second oversized sub did not start after first finished")
+	}
+	net.finishNext()
+}
+
+func TestOnFinished(t *testing.T) {
+	net := &fakeNet{}
+	s := New(ByteScheduler(100, 0))
+	finished := 0
+	task := mkTask(net, 0, 300)
+	task.OnFinished = func() { finished++ }
+	s.Enqueue(task)
+	s.NotifyReady(task)
+	net.finishNext()
+	net.finishNext()
+	if finished != 0 {
+		t.Fatal("OnFinished fired before all subs completed")
+	}
+	net.finishNext()
+	if finished != 1 {
+		t.Fatalf("OnFinished fired %d times, want 1", finished)
+	}
+}
+
+func TestSynchronousDone(t *testing.T) {
+	// A substrate that completes synchronously inside Start must not
+	// break the scheduling loop or the credit accounting.
+	var started int
+	s := New(ByteScheduler(10, 10))
+	task := &Task{
+		Tensor: tensor.Tensor{Layer: 0, Name: "w", Bytes: 100},
+		Start:  func(sub tensor.Sub, done func()) { started++; done() },
+	}
+	s.Enqueue(task)
+	s.NotifyReady(task)
+	if started != 10 {
+		t.Fatalf("started = %d, want 10", started)
+	}
+	if s.InFlight() != 0 || s.CreditAvailable() != 10 {
+		t.Fatalf("leak: inflight=%d credit=%d", s.InFlight(), s.CreditAvailable())
+	}
+}
+
+func TestMisusePanics(t *testing.T) {
+	net := &fakeNet{}
+	check := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	check("nil start", func() { New(FIFO()).Enqueue(&Task{}) })
+	check("double enqueue", func() {
+		s := New(FIFO())
+		task := mkTask(net, 0, 10)
+		s.Enqueue(task)
+		s.Enqueue(task)
+	})
+	check("ready before enqueue", func() {
+		New(FIFO()).NotifyReady(mkTask(net, 0, 10))
+	})
+	check("double ready", func() {
+		s := New(FIFO())
+		task := mkTask(net, 0, 10)
+		s.Enqueue(task)
+		s.NotifyReady(task)
+		s.NotifyReady(task)
+	})
+	check("double done", func() {
+		s := New(FIFO())
+		n := &fakeNet{}
+		task := mkTask(n, 0, 10)
+		s.Enqueue(task)
+		s.NotifyReady(task)
+		done := n.dones[0]
+		done()
+		done()
+	})
+}
+
+func TestStatsCounters(t *testing.T) {
+	net := &fakeNet{}
+	s := New(ByteScheduler(100, 200))
+	// Layer 1 arrives first with 4 partitions: two start (credit 200),
+	// two wait. Layer 0 then arrives; its partitions must be released
+	// ahead of the two waiting layer-1 partitions.
+	for _, task := range []*Task{mkTask(net, 1, 400), mkTask(net, 0, 200)} {
+		s.Enqueue(task)
+		s.NotifyReady(task)
+	}
+	for len(net.dones) > 0 {
+		net.finishNext()
+	}
+	st := s.Stats()
+	if st.TasksEnqueued != 2 || st.SubsStarted != 6 || st.SubsFinished != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MaxInflightBytes != 200 {
+		t.Fatalf("MaxInflightBytes = %d, want 200", st.MaxInflightBytes)
+	}
+	if st.Preemptions == 0 {
+		t.Fatal("layer 0 jumped layer 1; preemption expected")
+	}
+}
+
+// Property: with every task ready up front and single-sub tasks completing
+// one at a time, the start order is exactly (priority, arrival) order after
+// the first (which starts before the rest arrive).
+func TestPriorityOrderProperty(t *testing.T) {
+	f := func(layersRaw []uint8) bool {
+		if len(layersRaw) == 0 {
+			return true
+		}
+		net := &fakeNet{}
+		s := New(Policy{Name: "t", CreditBytes: 1, Priority: LayerPriority})
+		for _, l := range layersRaw {
+			task := mkTask(net, int(l), 1000) // every sub exceeds credit: pure serial
+			s.Enqueue(task)
+			s.NotifyReady(task)
+		}
+		for len(net.dones) > 0 {
+			net.finishNext()
+		}
+		if len(net.started) != len(layersRaw) {
+			return false
+		}
+		// First start is the first arrival; the rest must be sorted by
+		// (layer, arrival seq).
+		rest := net.started[1:]
+		want := append([]uint8(nil), layersRaw[1:]...)
+		sort.SliceStable(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range rest {
+			if rest[i].Parent.Layer != int(want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: credit accounting is conserved — after draining, available
+// credit equals the configured credit and nothing is in flight, for any
+// partition/credit combination.
+func TestCreditConservationProperty(t *testing.T) {
+	f := func(unitRaw, creditRaw uint8, sizes []uint16) bool {
+		unit := int64(unitRaw)%500 + 64 // keep partition counts bounded
+		credit := int64(creditRaw)%1000 + 1
+		if len(sizes) > 16 {
+			sizes = sizes[:16]
+		}
+		net := &fakeNet{}
+		s := New(Policy{Name: "t", PartitionUnit: unit, CreditBytes: credit, Priority: LayerPriority})
+		total := 0
+		for i, raw := range sizes {
+			task := mkTask(net, i, int64(raw)+1)
+			total += len(tensor.Partition(task.Tensor, unit))
+			s.Enqueue(task)
+			s.NotifyReady(task)
+		}
+		for len(net.dones) > 0 {
+			net.finishNext()
+		}
+		return len(net.started) == total &&
+			s.InFlight() == 0 &&
+			s.Pending() == 0 &&
+			s.CreditAvailable() == credit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,102 @@
+package engine
+
+import "fmt"
+
+// node is one operation in a declarative engine's dependency graph.
+type node struct {
+	name       string
+	dur        float64
+	remaining  int
+	dependents []*node
+	onStart    func()
+	onDone     func()
+}
+
+// dec resolves one dependency; the node fires at zero.
+func (e *Engine) dec(ws *workerState, n *node) {
+	n.remaining--
+	if n.remaining > 0 {
+		return
+	}
+	if n.remaining < 0 {
+		panic(fmt.Sprintf("engine: node %s over-resolved", n.name))
+	}
+	e.runCompute(ws, n.name, n.dur, n.onStart, func() {
+		if n.onDone != nil {
+			n.onDone()
+		}
+		for _, d := range n.dependents {
+			e.dec(ws, d)
+		}
+	})
+}
+
+// startDeclarative materializes the full per-worker dependency graph for
+// every iteration — forward and backward compute nodes with communication
+// gates attached as Dependency Proxies — and kicks off the roots, the way
+// declarative engines (MXNet, TensorFlow) execute a data-flow graph.
+func (e *Engine) startDeclarative(ws *workerState) {
+	iters, layers := e.cfg.Iterations, len(e.fp)
+	fpN := make([][]*node, iters)
+	bpN := make([][]*node, iters)
+	for t := 0; t < iters; t++ {
+		fpN[t] = make([]*node, layers)
+		bpN[t] = make([]*node, layers)
+		for i := 0; i < layers; i++ {
+			fpN[t][i] = &node{name: fmt.Sprintf("f%d@%d", i, t), dur: e.fp[i]}
+			bpN[t][i] = &node{name: fmt.Sprintf("b%d@%d", i, t), dur: e.bp[i]}
+		}
+	}
+	for t := 0; t < iters; t++ {
+		t := t
+		for i := 0; i < layers; i++ {
+			i := i
+			f := fpN[t][i]
+			// Chain dependency on the previous layer's forward op.
+			if i > 0 {
+				f.remaining++
+				fpN[t][i-1].dependents = append(fpN[t][i-1].dependents, f)
+			}
+			// Dependency Proxy: the communication gate from the previous
+			// iteration (per-layer) or the global barrier.
+			if g := e.fpGate(ws, i, t); g != nil {
+				f.remaining++
+				g.wait(func() { e.dec(ws, f) })
+			}
+			if i == 0 {
+				f.onStart = func() { e.recordFPStart(ws, t) }
+			}
+
+			b := bpN[t][i]
+			if i == layers-1 {
+				b.remaining++
+				fpN[t][layers-1].dependents = append(fpN[t][layers-1].dependents, b)
+			} else {
+				b.remaining++
+				bpN[t][i+1].dependents = append(bpN[t][i+1].dependents, b)
+			}
+			b.onDone = func() {
+				e.gradientProduced(ws, i, t)
+				if i == 0 && t == iters-1 {
+					e.workerFinished()
+				}
+			}
+		}
+	}
+	// Roots: nodes with no unresolved dependencies fire now. Walk in op
+	// order so the GPU queue order is deterministic and program-like.
+	for t := 0; t < iters; t++ {
+		for i := 0; i < layers; i++ {
+			if fpN[t][i].remaining == 0 {
+				n := fpN[t][i]
+				n.remaining = 1 // hand off through dec for a single entry point
+				e.dec(ws, n)
+			}
+			if bpN[t][i].remaining == 0 {
+				n := bpN[t][i]
+				n.remaining = 1
+				e.dec(ws, n)
+			}
+		}
+	}
+}

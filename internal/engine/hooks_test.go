@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"bytescheduler/internal/model"
+	"bytescheduler/internal/sim"
+)
+
+func TestOnIterationFiresPerIteration(t *testing.T) {
+	m := model.Synthetic("s", 3, 1024, 0.01)
+	se := sim.New()
+	var iters []int
+	var times []float64
+	cfg := baseConfig(m, 5)
+	cfg.OnIteration = func(iter int, at float64) {
+		iters = append(iters, iter)
+		times = append(times, at)
+	}
+	res := run(t, se, cfg, &instantHook{})
+	if len(iters) != 5 {
+		t.Fatalf("hook fired %d times, want 5", len(iters))
+	}
+	for i := range iters {
+		if iters[i] != i {
+			t.Fatalf("iterations out of order: %v", iters)
+		}
+		if math.Abs(times[i]-res.FPStarts[i]) > 1e-12 {
+			t.Fatalf("hook time %v != FPStart %v", times[i], res.FPStarts[i])
+		}
+	}
+}
+
+func TestGPUUtilizationComputeBound(t *testing.T) {
+	// Instant communication: the GPU never stalls, utilization ~1.
+	m := model.Synthetic("s", 3, 1024, 0.01)
+	se := sim.New()
+	e, err := New(se, baseConfig(m, 4), &instantHook{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	se.Run()
+	if util := e.GPUUtilization(0); util < 0.99 {
+		t.Fatalf("compute-bound utilization = %v, want ~1", util)
+	}
+}
+
+func TestGPUUtilizationCommBound(t *testing.T) {
+	// Slow communication: the GPU stalls between iterations.
+	m := model.Synthetic("s", 3, 1024, 0.01)
+	se := sim.New()
+	hook := &delayHook{se: se, delays: []float64{0.02, 0.02, 0.02}}
+	e, err := New(se, baseConfig(m, 4), hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	se.Run()
+	if util := e.GPUUtilization(0); util > 0.8 {
+		t.Fatalf("comm-bound utilization = %v, want well below 1", util)
+	}
+}
+
+func TestOutstandingGates(t *testing.T) {
+	m := model.Synthetic("s", 3, 1024, 0.01)
+	se := sim.New()
+	// A hook that never completes layer 1's communication in the last
+	// iteration.
+	hook := CommHookFunc(func(worker, layer, iter int, done func()) {
+		if layer == 1 && iter == 1 {
+			return // leak
+		}
+		done()
+	})
+	e, err := New(se, baseConfig(m, 2), hook)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Start()
+	se.Run()
+	if leaked := e.OutstandingGates(); leaked != 1 {
+		t.Fatalf("OutstandingGates = %d, want 1", leaked)
+	}
+
+	// Clean run: zero leaks.
+	se2 := sim.New()
+	e2, err := New(se2, baseConfig(m, 2), &instantHook{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.Start()
+	se2.Run()
+	if leaked := e2.OutstandingGates(); leaked != 0 {
+		t.Fatalf("clean run leaked %d gates", leaked)
+	}
+}

@@ -1,0 +1,220 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§2.3, §4.3, §6) plus ablations of the design choices, as
+// self-describing text tables. It is the shared engine behind the
+// repository's bench harness (bench_test.go) and the benchsuite CLI.
+//
+// Absolute speeds will not match the paper's testbed (the substrate is a
+// simulator); the reproduced artifact is the shape: who wins, by roughly
+// what factor, and where crossovers fall. Each experiment exposes scalar
+// Metrics so shape claims are machine-checkable.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"bytescheduler/internal/core"
+	"bytescheduler/internal/model"
+	"bytescheduler/internal/network"
+	"bytescheduler/internal/plugin"
+	"bytescheduler/internal/runner"
+)
+
+// Opts controls experiment sizing.
+type Opts struct {
+	// Quick shrinks grids and trial counts for CI and `go test -bench`.
+	Quick bool
+	// Seed seeds all stochastic components (tuners, jitter).
+	Seed int64
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier from DESIGN.md, e.g. "FIG10".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns and Rows hold the rendered data.
+	Columns []string
+	Rows    [][]string
+	// Metrics exposes scalar findings for assertions and bench metrics,
+	// e.g. "speedup_min_pct".
+	Metrics map[string]float64
+	// Notes records shape observations relative to the paper.
+	Notes []string
+}
+
+// Format renders the table as aligned text.
+func (t Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if len(t.Metrics) > 0 {
+		keys := make([]string, 0, len(t.Metrics))
+		for k := range t.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("metrics:")
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%.2f", k, t.Metrics[k])
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment is a named, runnable reproduction target.
+type Experiment struct {
+	ID   string
+	Run  func(Opts) (Table, error)
+	Desc string
+}
+
+// All returns every experiment in DESIGN.md order.
+func All() []Experiment {
+	return []Experiment{
+		{"FIG2", Fig02Contrived, "contrived 3-layer example (Figure 2)"},
+		{"FIG4A", Fig04aPartitionSweep, "FIFO speed vs partition size (Figure 4a)"},
+		{"FIG4B", Fig04bCreditSweep, "FIFO speed vs credit size (Figure 4b)"},
+		{"FIG9", Fig09BOPosterior, "Bayesian Optimization posterior (Figure 9)"},
+		{"FIG10", Fig10VGG16, "VGG16 across 5 setups (Figure 10)"},
+		{"FIG11", Fig11ResNet50, "ResNet50 across 5 setups (Figure 11)"},
+		{"FIG12", Fig12Transformer, "Transformer across 5 setups (Figure 12)"},
+		{"FIG13", Fig13Bandwidth, "bandwidth sweep with/without tuning (Figure 13)"},
+		{"FIG14", Fig14SearchCost, "auto-tuning search cost (Figure 14)"},
+		{"TAB1", Tab01BestConfig, "best partition/credit sizes (Table 1)"},
+		{"TXT1", TxtOtherModels, "AlexNet and VGG19 speedups (§6.2)"},
+		{"TXT3", TxtLoadBalance, "PS load balancing (§6.2)"},
+		{"ABL-CREDIT", AblationCredit, "credit-based preemption vs stop-and-wait"},
+		{"ABL-PARTITION", AblationPartition, "tensor partitioning on/off"},
+		{"ABL-PRIORITY", AblationPriority, "priority vs FIFO under partitioning"},
+		{"ABL-BARRIER", AblationBarrier, "crossing vs keeping the global barrier"},
+		{"ABL-ASYNC", AblationAsyncPS, "synchronous vs asynchronous PS"},
+		{"ABL-COLLECTIVE", AblationCollective, "all-reduce algorithm comparison"},
+		{"EXT-ONLINE", ExtOnlineTuning, "runtime auto-tuning on a live run (§7)"},
+		{"EXT-LAYERWISE", ExtLayerwisePartition, "per-layer partition sizes (§7)"},
+		{"EXT-COSCHED", ExtCoScheduling, "two jobs sharing one fabric (§7)"},
+		{"EXT-COMPRESS", ExtCompression, "gradient compression x scheduling (§8)"},
+		{"EXT-ZOO", ExtZooModels, "extended model zoo (BERT, GNMT, Inception-v3)"},
+		{"THM1", ThmOptimality, "Theorem 1 optimality and the §4.1 overhead bound"},
+	}
+}
+
+// ByID returns the experiment with the given ID (case-insensitive).
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// setup is one framework/arch/transport combination of §6.1.
+type setup struct {
+	label     string
+	framework plugin.Framework
+	arch      runner.Arch
+	transport network.Profile
+}
+
+// benchSetups returns the five setups shown in Figures 10–12.
+func benchSetups() []setup {
+	return []setup{
+		{"MXNet PS TCP", plugin.MXNet, runner.PS, network.TCP()},
+		{"MXNet PS RDMA", plugin.MXNet, runner.PS, network.RDMA()},
+		{"TensorFlow PS TCP", plugin.TensorFlow, runner.PS, network.TCP()},
+		{"MXNet NCCL RDMA", plugin.MXNet, runner.AllReduce, network.RDMA()},
+		{"PyTorch NCCL TCP", plugin.PyTorch, runner.AllReduce, network.TCP()},
+	}
+}
+
+// calibratedParams returns per-setup, per-model ByteScheduler parameters in
+// the spirit of Table 1: PS wants small partitions (fine preemption, load
+// spreading); all-reduce wants large ones (per-collective synchronization
+// cost); compute-bound ResNet50 prefers the finest preemption. The headline
+// figures use these fixed values; Table 1 derives its own via the tuner.
+func calibratedParams(arch runner.Arch, modelName string) (partition, credit int64) {
+	if arch == runner.PS {
+		if modelName == "ResNet50" {
+			return 1 << 20, 8 << 20
+		}
+		return 2 << 20, 16 << 20
+	}
+	if modelName == "ResNet50" {
+		return 32 << 20, 96 << 20
+	}
+	return 64 << 20, 160 << 20
+}
+
+func (s setup) config(m *model.Model, gpus int, gbps float64) runner.Config {
+	return runner.Config{
+		Model:         m,
+		Framework:     s.framework,
+		Arch:          s.arch,
+		Transport:     s.transport,
+		BandwidthGbps: gbps,
+		GPUs:          gpus,
+		Policy:        core.FIFO(),
+	}
+}
+
+// scheduledCfg applies the setup's ByteScheduler parameters.
+func scheduledCfg(cfg runner.Config, partition, credit int64) runner.Config {
+	cfg.Policy = core.ByteScheduler(partition, credit)
+	cfg.Scheduled = true
+	return cfg
+}
+
+func f0(v float64) string   { return fmt.Sprintf("%.0f", v) }
+func f1(v float64) string   { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string  { return fmt.Sprintf("%.0f%%", v) }
+func mb(bytes int64) string { return fmt.Sprintf("%.0f", float64(bytes)/(1<<20)) }
+
+func speedupPct(base, new float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (new - base) / base * 100
+}
+
+func minMax(vs []float64) (lo, hi float64) {
+	lo, hi = vs[0], vs[0]
+	for _, v := range vs[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

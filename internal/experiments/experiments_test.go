@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quick() Opts { return Opts{Quick: true, Seed: 1} }
+
+func runExp(t *testing.T, fn func(Opts) (Table, error)) Table {
+	t.Helper()
+	tab, err := fn(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID == "" || tab.Title == "" || len(tab.Columns) == 0 || len(tab.Rows) == 0 {
+		t.Fatalf("malformed table %+v", tab)
+	}
+	out := tab.Format()
+	if !strings.Contains(out, tab.ID) {
+		t.Fatalf("Format missing ID:\n%s", out)
+	}
+	return tab
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) < 15 {
+		t.Fatalf("registry has %d experiments", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.ID == "" || e.Run == nil || e.Desc == "" {
+			t.Fatalf("malformed registry entry %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	if _, err := ByID("fig10"); err != nil {
+		t.Fatalf("ByID case-insensitive lookup failed: %v", err)
+	}
+	if _, err := ByID("FIG99"); err == nil {
+		t.Fatal("unknown ID accepted")
+	}
+}
+
+func TestFig02Shape(t *testing.T) {
+	tab := runExp(t, Fig02Contrived)
+	if sp := tab.Metrics["speedup_pct"]; sp < 20 {
+		t.Fatalf("contrived speedup %.1f%%, want >20%% (paper: 44.4%%)", sp)
+	}
+}
+
+func TestFig04aShape(t *testing.T) {
+	tab := runExp(t, Fig04aPartitionSweep)
+	// Partition size must matter more at 10Gbps than at 1Gbps.
+	if tab.Metrics["spread_10g"] <= tab.Metrics["spread_1g"] {
+		t.Fatalf("partition-size sensitivity: 10g %.2f <= 1g %.2f",
+			tab.Metrics["spread_10g"], tab.Metrics["spread_1g"])
+	}
+}
+
+func TestFig04bShape(t *testing.T) {
+	tab := runExp(t, Fig04bCreditSweep)
+	if tab.Metrics["spread_10g"] < 1.05 {
+		t.Fatalf("credit size has no effect at 10Gbps: spread %.2f", tab.Metrics["spread_10g"])
+	}
+}
+
+func TestFig09Shape(t *testing.T) {
+	tab := runExp(t, Fig09BOPosterior)
+	if tab.Metrics["samples"] != 7 {
+		t.Fatalf("samples = %v", tab.Metrics["samples"])
+	}
+	if tab.Metrics["best_speed"] <= 0 {
+		t.Fatal("no best speed")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	tab := runExp(t, Fig10VGG16)
+	// All-reduce at one machine has almost no schedulable communication;
+	// allow sub-percent noise around zero there.
+	if tab.Metrics["speedup_min_pct"] < -1 {
+		t.Fatalf("a setup regressed: min speedup %.1f%%", tab.Metrics["speedup_min_pct"])
+	}
+	if tab.Metrics["speedup_max_pct"] < 50 {
+		t.Fatalf("VGG16 max speedup %.1f%%, want large", tab.Metrics["speedup_max_pct"])
+	}
+	if tab.Metrics["bs_over_p3_min_pct"] <= 0 {
+		t.Fatalf("ByteScheduler did not beat P3: %.1f%%", tab.Metrics["bs_over_p3_min_pct"])
+	}
+}
+
+func TestTxtLoadBalanceShape(t *testing.T) {
+	tab := runExp(t, TxtLoadBalance)
+	if tab.Metrics["baseline_imbalance"] <= tab.Metrics["sched_imbalance"] {
+		t.Fatalf("imbalance not reduced: %.2f -> %.2f",
+			tab.Metrics["baseline_imbalance"], tab.Metrics["sched_imbalance"])
+	}
+	if tab.Metrics["speedup_pct"] < 30 {
+		t.Fatalf("load-balance speedup %.1f%%, want large", tab.Metrics["speedup_pct"])
+	}
+}
+
+func TestAblationsShape(t *testing.T) {
+	credit := runExp(t, AblationCredit)
+	if credit.Metrics["window_over_stopandwait_pct"] <= 0 {
+		t.Fatalf("credit window not better than stop-and-wait: %.1f%%",
+			credit.Metrics["window_over_stopandwait_pct"])
+	}
+	part := runExp(t, AblationPartition)
+	if part.Metrics["partitioning_gain_pct"] <= 0 {
+		t.Fatalf("partitioning gain %.1f%%", part.Metrics["partitioning_gain_pct"])
+	}
+	prio := runExp(t, AblationPriority)
+	if prio.Metrics["priority_gain_pct"] <= 0 {
+		t.Fatalf("priority gain %.1f%%", prio.Metrics["priority_gain_pct"])
+	}
+	barrier := runExp(t, AblationBarrier)
+	if barrier.Metrics["full_gain_pct"] <= barrier.Metrics["crossing_gain_pct"] {
+		t.Fatalf("full scheduler (%.1f%%) must beat crossing alone (%.1f%%)",
+			barrier.Metrics["full_gain_pct"], barrier.Metrics["crossing_gain_pct"])
+	}
+	async := runExp(t, AblationAsyncPS)
+	if async.Metrics["sync_speedup_pct"] <= 0 || async.Metrics["async_speedup_pct"] <= 0 {
+		t.Fatalf("async/sync speedups: %+v", async.Metrics)
+	}
+	coll := runExp(t, AblationCollective)
+	if coll.Metrics["hd_vs_ring_small_pct"] < 0 {
+		t.Fatalf("halving-doubling lost to ring at small partitions: %+v", coll.Metrics)
+	}
+	if coll.Metrics["tree_vs_ring_large_pct"] >= 0 {
+		t.Fatalf("double tree did not pay its bandwidth penalty: %+v", coll.Metrics)
+	}
+}
+
+func TestExtensionsShape(t *testing.T) {
+	online := runExp(t, ExtOnlineTuning)
+	if online.Metrics["improvement_pct"] <= 0 {
+		t.Fatalf("online tuning improvement %.1f%%", online.Metrics["improvement_pct"])
+	}
+	if online.Metrics["restarts"] <= 0 {
+		t.Fatal("expected PS restarts during online tuning")
+	}
+	layer := runExp(t, ExtLayerwisePartition)
+	if _, ok := layer.Metrics["layerwise_vs_uniform_pct"]; !ok {
+		t.Fatal("missing layerwise metric")
+	}
+	comp := runExp(t, ExtCompression)
+	if comp.Metrics["fp16_over_bs_pct"] <= 0 {
+		t.Fatalf("fp16 on top of scheduling gained %.1f%%", comp.Metrics["fp16_over_bs_pct"])
+	}
+	if comp.Metrics["bs_over_fifo_at_fp16_pct"] <= 0 {
+		t.Fatalf("scheduling under compression gained %.1f%%", comp.Metrics["bs_over_fifo_at_fp16_pct"])
+	}
+	zoo := runExp(t, ExtZooModels)
+	if zoo.Metrics["GNMT_speedup_pct"] < 20 {
+		t.Fatalf("comm-bound GNMT speedup %.1f%%, want large", zoo.Metrics["GNMT_speedup_pct"])
+	}
+	for _, m := range []string{"BERT-base", "InceptionV3"} {
+		sp := zoo.Metrics[m+"_speedup_pct"]
+		if sp < 0 || sp > 25 {
+			t.Fatalf("compute-bound %s speedup %.1f%%, want small non-negative", m, sp)
+		}
+	}
+	cosched := runExp(t, ExtCoScheduling)
+	if cosched.Metrics["bs_over_fifo_aggregate_pct"] <= 0 {
+		t.Fatalf("co-scheduled ByteScheduler aggregate not better: %.1f%%",
+			cosched.Metrics["bs_over_fifo_aggregate_pct"])
+	}
+	if cosched.Metrics["contention_loss_pct"] >= 0 {
+		t.Fatal("contention should cost something vs solo")
+	}
+}
+
+func TestTheoremShape(t *testing.T) {
+	tab := runExp(t, ThmOptimality)
+	if tab.Metrics["best_alternative_advantage_ms"] > 0.01 {
+		t.Fatalf("an alternative schedule beat priority by %.2fms under ideal assumptions",
+			tab.Metrics["best_alternative_advantage_ms"])
+	}
+	if tab.Metrics["worst_gap_over_bound"] > 1.0 {
+		t.Fatalf("measured overhead gap exceeded the paper's bound: ratio %.2f",
+			tab.Metrics["worst_gap_over_bound"])
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tab := Table{
+		ID:      "X",
+		Title:   "demo",
+		Columns: []string{"a", "long_column"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+		Metrics: map[string]float64{"m": 1.5},
+		Notes:   []string{"a note"},
+	}
+	out := tab.Format()
+	for _, want := range []string{"== X: demo ==", "long_column", "333", "m=1.50", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format missing %q:\n%s", want, out)
+		}
+	}
+}

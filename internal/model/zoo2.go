@@ -1,0 +1,124 @@
+package model
+
+// Additional zoo models beyond the paper's benchmark trio: the popular
+// 2019-era workloads a generic scheduler would meet in production. Same
+// conventions as zoo.go: fp32 parameters, compute weights ≈ relative FLOPs,
+// calibration to public V100 throughputs.
+
+// BERTBase returns BERT-base (Devlin et al.): 12 transformer encoder
+// layers, hidden 768, FFN 3072, 30522 WordPiece vocabulary — ~110 M
+// parameters (~438 MB). Like the Transformer, the embedding dominates and
+// sits at layer 0.
+//
+// Calibration: ~50 sequences/s per V100 at batch 32, seq 128 (fp32
+// pretraining).
+func BERTBase() *Model {
+	const (
+		d     = 768
+		ff    = 3072
+		vocab = 30522
+	)
+	var b layerBuilder
+	b.add("embeddings", 0.5,
+		p("word", vocab*d),
+		p("position", 512*d),
+		p("segment", 2*d),
+		p("norm", 2*d),
+	)
+	for i := 0; i < 12; i++ {
+		b.add("encoder"+itoa(i+1), 1.0,
+			p("attn_qkvo", 4*d*d+4*d),
+			p("ffn", 2*d*ff+ff+d),
+			p("norms", 4*d),
+		)
+	}
+	b.add("pooler", 0.05, p("weight", d*d), p("bias", d))
+	return &Model{
+		Name:        "BERT-base",
+		Layers:      b.layers,
+		BatchPerGPU: 32,
+		SampleUnit:  "sequences",
+		PerGPUSpeed: 50,
+		FPFraction:  1.0 / 3,
+	}
+}
+
+// InceptionV3 returns Inception-v3 (Szegedy et al.): ~23.9 M parameters
+// (~96 MB) with high compute per parameter — like ResNet50, a model where
+// scheduling gains appear only when bandwidth is scarce.
+//
+// Block granularity: the stem, each Inception block, and the classifier are
+// schedulable layers. Calibration: ~380 images/s per V100 at batch 32.
+func InceptionV3() *Model {
+	var b layerBuilder
+	// Stem: five conv layers + pool, 3x3/1x1 mixes up to 192 channels.
+	b.add("stem", 3.2,
+		p("conv1a", 3*3*3*32), p("conv2a", 3*3*32*32), p("conv2b", 3*3*32*64),
+		p("conv3b", 1*1*64*80), p("conv4a", 3*3*80*192),
+		p("bn", 2*(32+32+64+80+192)),
+	)
+	// 3x Inception-A (35x35, 256-288 channels): ~0.28M params each.
+	for i := 0; i < 3; i++ {
+		b.add("inceptionA"+itoa(i+1), 1.5, p("branches", 280_000), p("bn", 2_200))
+	}
+	b.add("reductionA", 1.2, p("branches", 1_150_000), p("bn", 2_500))
+	// 4x Inception-B (17x17, 768 channels) with 7x1/1x7 factorized convs.
+	for i := 0; i < 4; i++ {
+		b.add("inceptionB"+itoa(i+1), 1.4, p("branches", 1_240_000+int64(i)*110_000), p("bn", 4_500))
+	}
+	b.add("reductionB", 1.0, p("branches", 1_650_000), p("bn", 3_000))
+	// 2x Inception-C (8x8, 1280-2048 channels): the parameter-heavy tail.
+	b.add("inceptionC1", 1.1, p("branches", 4_850_000), p("bn", 9_000))
+	b.add("inceptionC2", 1.1, p("branches", 6_070_000), p("bn", 11_000))
+	b.add("fc", 0.05, p("weight", 2048*1000), p("bias", 1000))
+	return &Model{
+		Name:        "InceptionV3",
+		Layers:      b.layers,
+		BatchPerGPU: 32,
+		SampleUnit:  "images",
+		PerGPUSpeed: 380,
+		FPFraction:  1.0 / 3,
+	}
+}
+
+// GNMT returns a GNMT-style 8-layer LSTM seq2seq translator (Wu et al.):
+// untied 32 k embeddings on both sides plus a softmax projection — three
+// ~128 MB tensors at the input, middle, and output of the priority order —
+// and ~16 LSTM layers of ~8-13 M parameters each; ~275 M parameters total
+// (~1.1 GB).
+//
+// Calibration: ~9000 tokens/s per V100 at 512 tokens per GPU.
+func GNMT() *Model {
+	const (
+		d     = 1024
+		vocab = 32000
+	)
+	var b layerBuilder
+	lstm := func(inputDim int64) namedParams {
+		// 4 gates x (input + hidden + 1) x hidden.
+		return p("lstm", 4*(inputDim+d+1)*d)
+	}
+	b.add("embedding_src", 0.4, p("weight", vocab*d))
+	// Encoder: first layer bidirectional (2 LSTMs); the second consumes
+	// the 2d-wide concatenation; layers 3-8 are residual d-wide stacks.
+	b.add("encoder1_bi", 1.6, lstm(d), namedParams{"lstm_rev", 4 * (d + d + 1) * d})
+	b.add("encoder2", 1.0, lstm(2*d))
+	for i := 0; i < 6; i++ {
+		b.add("encoder"+itoa(i+3), 1.0, lstm(d))
+	}
+	b.add("embedding_tgt", 0.4, p("weight", vocab*d))
+	// Decoder: 8 layers, attention context concatenated on the input.
+	b.add("attention", 0.8, p("weight", 2*d*d))
+	for i := 0; i < 8; i++ {
+		b.add("decoder"+itoa(i+1), 1.2, lstm(2*d))
+	}
+	b.add("softmax", 0.6, p("weight", d*vocab), p("bias", vocab))
+	return &Model{
+		Name:        "GNMT",
+		Layers:      b.layers,
+		BatchPerGPU: 512,
+		SampleUnit:  "tokens",
+		PerGPUSpeed: 9000,
+		FPFraction:  1.0 / 3,
+	}
+}

@@ -1,0 +1,102 @@
+package netps
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Client is one worker's connection pool to a PS shard. Each in-flight
+// request uses its own connection (the scheduler above bounds concurrency
+// via credit), so pulls blocked on aggregation never head-of-line block
+// pushes.
+type Client struct {
+	addr string
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+}
+
+// NewClient creates a client for the shard at addr.
+func NewClient(addr string) *Client {
+	return &Client{addr: addr}
+}
+
+func (c *Client) conn() (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("netps: client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	return net.Dial("tcp", c.addr)
+}
+
+func (c *Client) release(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+}
+
+// roundTrip sends one request and reads its response on a dedicated
+// connection.
+func (c *Client) roundTrip(req message) (message, error) {
+	conn, err := c.conn()
+	if err != nil {
+		return message{}, err
+	}
+	if err := writeMessage(conn, req); err != nil {
+		conn.Close()
+		return message{}, err
+	}
+	resp, err := readMessage(conn)
+	if err != nil {
+		conn.Close()
+		return message{}, err
+	}
+	c.release(conn)
+	if resp.Op != req.Op || resp.Key != req.Key || resp.Iter != req.Iter {
+		return message{}, fmt.Errorf("netps: mismatched response %v/%s/%d", resp.Op, resp.Key, resp.Iter)
+	}
+	return resp, nil
+}
+
+// Push sends a gradient partition and returns when the server acknowledges
+// it.
+func (c *Client) Push(key string, iter uint32, grad []float32) error {
+	_, err := c.roundTrip(message{Op: OpPush, Iter: iter, Key: key, Payload: Encode(grad)})
+	return err
+}
+
+// Pull blocks until the partition is aggregated across all workers and
+// returns the summed values.
+func (c *Client) Pull(key string, iter uint32) ([]float32, error) {
+	resp, err := c.roundTrip(message{Op: OpPull, Iter: iter, Key: key})
+	if err != nil {
+		return nil, err
+	}
+	return Decode(resp.Payload)
+}
+
+// Close closes pooled connections; in-flight round trips own their
+// connections and close them on error.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+}

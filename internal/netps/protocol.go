@@ -1,0 +1,94 @@
+// Package netps is a real, wire-level parameter server over TCP for the
+// live scheduler: a sharded key-value store that aggregates pushed fp32
+// gradient partitions across workers and serves pulls once aggregation
+// completes — the same push/update/pull contract as the simulated
+// substrate, but over actual sockets.
+//
+// It exists so the library's live half (bytescheduler.Scheduler /
+// core.AsyncScheduler) has a concrete transport to drive end to end: a
+// worker wraps each tensor partition as a CommTask whose Start pushes to
+// and pulls from this server. The framing is deliberately minimal
+// (length-prefixed binary, one request per round trip per connection) —
+// the scheduler above it, not the RPC layer, is the point.
+package netps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Op is the wire operation code.
+type Op uint8
+
+const (
+	// OpPush carries a gradient partition worker -> server.
+	OpPush Op = 1
+	// OpPull requests the aggregated partition server -> worker; the
+	// response is delayed until aggregation completes.
+	OpPull Op = 2
+)
+
+// maxMessage bounds a single framed message (payload plus header).
+const maxMessage = 512 << 20
+
+// header is the fixed-size request/response prefix.
+//
+//	op(1) iter(4) keyLen(2) key payloadLen(4) payload
+type message struct {
+	Op      Op
+	Iter    uint32
+	Key     string
+	Payload []byte
+}
+
+// writeMessage frames and writes one message.
+func writeMessage(w io.Writer, m message) error {
+	if len(m.Key) > 1<<16-1 {
+		return fmt.Errorf("netps: key too long (%d bytes)", len(m.Key))
+	}
+	if len(m.Payload) > maxMessage {
+		return fmt.Errorf("netps: payload too large (%d bytes)", len(m.Payload))
+	}
+	hdr := make([]byte, 1+4+2+len(m.Key)+4)
+	hdr[0] = byte(m.Op)
+	binary.BigEndian.PutUint32(hdr[1:5], m.Iter)
+	binary.BigEndian.PutUint16(hdr[5:7], uint16(len(m.Key)))
+	copy(hdr[7:], m.Key)
+	binary.BigEndian.PutUint32(hdr[7+len(m.Key):], uint32(len(m.Payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(m.Payload) > 0 {
+		if _, err := w.Write(m.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readMessage reads one framed message.
+func readMessage(r io.Reader) (message, error) {
+	var fixed [7]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return message{}, err
+	}
+	m := message{Op: Op(fixed[0]), Iter: binary.BigEndian.Uint32(fixed[1:5])}
+	keyLen := int(binary.BigEndian.Uint16(fixed[5:7]))
+	buf := make([]byte, keyLen+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return message{}, err
+	}
+	m.Key = string(buf[:keyLen])
+	payloadLen := binary.BigEndian.Uint32(buf[keyLen:])
+	if payloadLen > maxMessage {
+		return message{}, fmt.Errorf("netps: payload length %d exceeds limit", payloadLen)
+	}
+	if payloadLen > 0 {
+		m.Payload = make([]byte, payloadLen)
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			return message{}, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,219 @@
+package netps
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+)
+
+// Server is a single-shard parameter server: it sums fp32 payloads pushed
+// by Workers distinct workers per (key, iteration) and answers pulls once
+// every worker has pushed. Deploy one Server per shard and spread keys
+// across shards, exactly like the simulated cluster.
+type Server struct {
+	workers int
+
+	mu      sync.Mutex
+	entries map[entryKey]*entry
+	ln      net.Listener
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+type entryKey struct {
+	key  string
+	iter uint32
+}
+
+type entry struct {
+	sum     []float32
+	pushes  int
+	waiters []chan []byte
+	served  int
+}
+
+// NewServer creates a server expecting the given number of workers per key
+// per iteration.
+func NewServer(workers int) (*Server, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("netps: need at least one worker, got %d", workers)
+	}
+	return &Server{workers: workers, entries: make(map[entryKey]*entry)}, nil
+}
+
+// Listen binds to addr (e.g. "127.0.0.1:0") and serves connections until
+// Close. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			s.serve(conn)
+		}()
+	}
+}
+
+// serve handles one connection: a stream of push/pull requests, each
+// answered in order.
+func (s *Server) serve(conn net.Conn) {
+	for {
+		req, err := readMessage(conn)
+		if err != nil {
+			return // EOF or broken peer
+		}
+		switch req.Op {
+		case OpPush:
+			if err := s.handlePush(conn, req); err != nil {
+				return
+			}
+		case OpPull:
+			if err := s.handlePull(conn, req); err != nil {
+				return
+			}
+		default:
+			return // protocol error: drop the connection
+		}
+	}
+}
+
+func (s *Server) handlePush(conn net.Conn, req message) error {
+	if len(req.Payload)%4 != 0 {
+		return errors.New("netps: push payload not a float32 vector")
+	}
+	s.mu.Lock()
+	e := s.entry(entryKey{req.Key, req.Iter})
+	if e.sum == nil {
+		e.sum = make([]float32, len(req.Payload)/4)
+	}
+	if len(e.sum)*4 != len(req.Payload) {
+		s.mu.Unlock()
+		return fmt.Errorf("netps: push size mismatch for %s", req.Key)
+	}
+	for i := range e.sum {
+		bits := binary.BigEndian.Uint32(req.Payload[i*4:])
+		e.sum[i] += math.Float32frombits(bits)
+	}
+	e.pushes++
+	var wake []chan []byte
+	if e.pushes == s.workers {
+		wake = e.waiters
+		e.waiters = nil
+	}
+	var result []byte
+	if e.pushes == s.workers {
+		result = encode(e.sum)
+	}
+	s.mu.Unlock()
+	for _, ch := range wake {
+		ch <- result
+	}
+	// Ack the push (empty payload).
+	return writeMessage(conn, message{Op: OpPush, Iter: req.Iter, Key: req.Key})
+}
+
+func (s *Server) handlePull(conn net.Conn, req message) error {
+	s.mu.Lock()
+	e := s.entry(entryKey{req.Key, req.Iter})
+	if e.pushes >= s.workers {
+		payload := encode(e.sum)
+		s.noteServed(entryKey{req.Key, req.Iter}, e)
+		s.mu.Unlock()
+		return writeMessage(conn, message{Op: OpPull, Iter: req.Iter, Key: req.Key, Payload: payload})
+	}
+	ch := make(chan []byte, 1)
+	e.waiters = append(e.waiters, ch)
+	s.mu.Unlock()
+	payload := <-ch
+	s.mu.Lock()
+	s.noteServed(entryKey{req.Key, req.Iter}, e)
+	s.mu.Unlock()
+	return writeMessage(conn, message{Op: OpPull, Iter: req.Iter, Key: req.Key, Payload: payload})
+}
+
+// noteServed reclaims the entry after every worker pulled it.
+func (s *Server) noteServed(k entryKey, e *entry) {
+	e.served++
+	if e.served >= s.workers {
+		delete(s.entries, k)
+	}
+}
+
+func (s *Server) entry(k entryKey) *entry {
+	e, ok := s.entries[k]
+	if !ok {
+		e = &entry{}
+		s.entries[k] = e
+	}
+	return e
+}
+
+// Outstanding returns the number of live aggregation entries (leak check).
+func (s *Server) Outstanding() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Close stops the listener and waits for connection handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// encode serializes a float32 vector big-endian.
+func encode(v []float32) []byte {
+	out := make([]byte, len(v)*4)
+	for i, f := range v {
+		binary.BigEndian.PutUint32(out[i*4:], math.Float32bits(f))
+	}
+	return out
+}
+
+// Decode parses a big-endian float32 vector payload.
+func Decode(payload []byte) ([]float32, error) {
+	if len(payload)%4 != 0 {
+		return nil, errors.New("netps: payload not a float32 vector")
+	}
+	out := make([]float32, len(payload)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.BigEndian.Uint32(payload[i*4:]))
+	}
+	return out, nil
+}
+
+// Encode serializes a float32 vector for pushing.
+func Encode(v []float32) []byte { return encode(v) }

@@ -1,0 +1,47 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"bytescheduler/internal/sim"
+	"bytescheduler/internal/trace"
+)
+
+func TestFabricTraceRecordsTransfers(t *testing.T) {
+	eng := sim.New()
+	f := NewFabric(eng, 2, 10, RDMA())
+	rec := trace.New()
+	f.SetTrace(rec)
+	f.Send(&Transfer{Src: 0, Dst: 1, Bytes: 1 << 20, Prio: 3})
+	f.Send(&Transfer{Src: 1, Dst: 0, Bytes: 1 << 20, Prio: 5})
+	eng.Run()
+	spans := rec.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	lanes := rec.Lanes()
+	if len(lanes) != 2 {
+		t.Fatalf("lanes = %v", lanes)
+	}
+	found := false
+	for _, s := range spans {
+		if strings.Contains(s.Name, "L3") && s.Lane == "n00/up" {
+			found = true
+			if s.Duration() <= 0 {
+				t.Fatal("zero-duration span")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("missing priority-labeled span: %+v", spans)
+	}
+}
+
+func TestFabricTraceNilSafe(t *testing.T) {
+	eng := sim.New()
+	f := NewFabric(eng, 2, 10, RDMA())
+	f.SetTrace(nil)
+	f.Send(&Transfer{Src: 0, Dst: 1, Bytes: 1})
+	eng.Run() // must not panic
+}

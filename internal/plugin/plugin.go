@@ -1,0 +1,101 @@
+// Package plugin implements the framework plugins of the paper (§5): the
+// shim between a framework engine's hooks and the ByteScheduler Core, per
+// gradient-synchronization architecture.
+//
+// A plugin owns the Core scheduler(s) and the communication substrate
+// bindings. It receives engine.CommHook callbacks (gradient ready), wraps
+// each layer tensor into a core.Task (the unified CommTask abstraction),
+// and opens the engine's dependency gates when the synchronized parameters
+// are available — the Dependency Proxy contract.
+//
+// Framework flavors differ only in executor mode and barrier behavior:
+//
+//   - MXNet: declarative engine, native per-layer dependencies.
+//   - TensorFlow: declarative engine with an inter-iteration global
+//     barrier; enabling ByteScheduler rewrites the graph to per-layer
+//     out-of-engine dependencies (crossing the barrier, §3.4).
+//   - PyTorch: imperative engine with a barrier-like training loop; the
+//     plugin uses backward hooks and forward pre-hooks, crossing the
+//     barrier the same way.
+package plugin
+
+import (
+	"fmt"
+
+	"bytescheduler/internal/engine"
+)
+
+// Framework identifies the simulated training framework.
+type Framework int
+
+const (
+	// MXNet is a declarative engine without a global barrier.
+	MXNet Framework = iota
+	// TensorFlow is a declarative engine with a global barrier.
+	TensorFlow
+	// PyTorch is an imperative engine with a global barrier.
+	PyTorch
+)
+
+// String returns the framework name.
+func (f Framework) String() string {
+	switch f {
+	case MXNet:
+		return "MXNet"
+	case TensorFlow:
+		return "TensorFlow"
+	case PyTorch:
+		return "PyTorch"
+	}
+	return fmt.Sprintf("Framework(%d)", int(f))
+}
+
+// FrameworkByName parses a framework name (case-insensitive).
+func FrameworkByName(name string) (Framework, error) {
+	switch lower(name) {
+	case "mxnet":
+		return MXNet, nil
+	case "tensorflow", "tf":
+		return TensorFlow, nil
+	case "pytorch", "torch":
+		return PyTorch, nil
+	}
+	return 0, fmt.Errorf("plugin: unknown framework %q", name)
+}
+
+// EngineMode returns the executor flavor the framework uses.
+func (f Framework) EngineMode() engine.Mode {
+	if f == PyTorch {
+		return engine.Imperative
+	}
+	return engine.Declarative
+}
+
+// HasGlobalBarrier reports whether the vanilla framework inserts an
+// inter-iteration barrier (Figure 3).
+func (f Framework) HasGlobalBarrier() bool {
+	return f == TensorFlow || f == PyTorch
+}
+
+// DependencyMode returns the engine gating for this framework, given
+// whether ByteScheduler is enabled. ByteScheduler always uses per-layer
+// dependencies: for barrier frameworks it replaces the barrier with
+// layer-wise out-of-engine dependencies.
+func (f Framework) DependencyMode(scheduled bool) engine.DependencyMode {
+	if scheduled || !f.HasGlobalBarrier() {
+		return engine.PerLayer
+	}
+	return engine.GlobalBarrier
+}
+
+func lower(s string) string {
+	out := make([]byte, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		out[i] = c
+	}
+	return string(out)
+}

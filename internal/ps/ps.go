@@ -1,0 +1,417 @@
+// Package ps implements the parameter-server gradient synchronization
+// substrate: sharded key-value servers that aggregate pushed gradients and
+// serve parameter pulls over a network fabric.
+//
+// The package reproduces the PS behaviours the paper's evaluation depends
+// on:
+//
+//   - push/update/pull with synchronous (wait for all workers) or
+//     asynchronous aggregation;
+//   - tensor-to-server assignment: the naïve whole-tensor round-robin that
+//     causes severe load imbalance when one tensor dominates (§6.2,
+//     Transformer/VGG16), versus partition-level spreading that balances
+//     load when the scheduler partitions tensors;
+//   - partition-granularity pulls: a partition can be pulled as soon as it
+//     is aggregated, even if the rest of its tensor is still being pushed
+//     (Theorem 1, condition 3).
+package ps
+
+import (
+	"fmt"
+
+	"bytescheduler/internal/network"
+	"bytescheduler/internal/sim"
+	"bytescheduler/internal/tensor"
+)
+
+// Assignment selects the tensor-to-server placement strategy.
+type Assignment int
+
+const (
+	// RoundRobinTensor assigns each whole tensor to one server in
+	// round-robin order of first use — MXNet's default, and the source of
+	// the paper's load imbalance when tensor sizes are skewed.
+	RoundRobinTensor Assignment = iota
+	// SpreadPartitions assigns each partition independently in round-robin
+	// order, so a partitioned large tensor spreads across all servers.
+	SpreadPartitions
+)
+
+// String returns the assignment strategy name.
+func (a Assignment) String() string {
+	switch a {
+	case RoundRobinTensor:
+		return "round-robin-tensor"
+	case SpreadPartitions:
+		return "spread-partitions"
+	}
+	return fmt.Sprintf("Assignment(%d)", int(a))
+}
+
+// Config describes a PS deployment.
+type Config struct {
+	// Workers is the number of worker machines (fabric nodes 0..Workers-1).
+	Workers int
+	// Servers is the number of parameter-server machines (fabric nodes
+	// Workers..Workers+Servers-1). The paper uses Servers == Workers.
+	Servers int
+	// Assignment is the tensor placement strategy.
+	Assignment Assignment
+	// Async enables asynchronous training: a worker's pull becomes ready
+	// as soon as its own push is applied, without waiting for the other
+	// workers.
+	Async bool
+	// UpdateSecPerByte is the server-side optimizer cost per aggregated
+	// byte (SGD update is memory-bound). Zero disables update cost.
+	UpdateSecPerByte float64
+	// ShardBytes emulates MXNet's "big array" behavior: a tensor
+	// partition larger than this is internally striped across all
+	// servers as one chunk per server (still one FIFO message each, no
+	// scheduling involved). Zero disables sharding. This is a property of
+	// the vanilla PS, not of ByteScheduler: it bounds how badly a single
+	// huge tensor can hot-spot one server in the baseline.
+	ShardBytes int64
+}
+
+// DefaultUpdateSecPerByte models a ~25 GB/s memory-bound SGD update.
+const DefaultUpdateSecPerByte = 1.0 / 25e9
+
+// Cluster wires workers and servers over a fabric.
+type Cluster struct {
+	eng *sim.Engine
+	fab *network.Fabric
+	cfg Config
+
+	tensorServer map[tensorID]int
+	partServer   map[partID]int
+	nextServer   int
+
+	aggs      map[subKey]*aggState
+	recvBytes []int64 // per-server pushed bytes, for load accounting
+}
+
+type tensorID struct {
+	layer int
+	name  string
+}
+
+type partID struct {
+	tensorID
+	index int
+}
+
+type subKey struct {
+	iter int
+	partID
+	chunk int
+}
+
+// chunk is one server-directed piece of a partition: the whole partition on
+// one server normally, or a stripe when big-array sharding applies.
+type chunk struct {
+	idx    int
+	server int
+	bytes  int64
+}
+
+type pullReq struct {
+	worker      int
+	onDelivered func()
+	onAcked     func()
+}
+
+type watch struct {
+	worker int
+	fn     func()
+}
+
+type aggState struct {
+	bytes          int64
+	pushesApplied  int
+	updated        bool
+	appliedWorkers map[int]bool // async mode
+	waiting        []pullReq
+	watchers       []watch
+	pullsDelivered int
+}
+
+// New creates a PS cluster over fab, whose node count must equal
+// cfg.Workers+cfg.Servers.
+func New(eng *sim.Engine, fab *network.Fabric, cfg Config) (*Cluster, error) {
+	if cfg.Workers <= 0 || cfg.Servers <= 0 {
+		return nil, fmt.Errorf("ps: need at least one worker and one server, got %d/%d", cfg.Workers, cfg.Servers)
+	}
+	if fab.Nodes() != cfg.Workers+cfg.Servers {
+		return nil, fmt.Errorf("ps: fabric has %d nodes, want %d", fab.Nodes(), cfg.Workers+cfg.Servers)
+	}
+	if cfg.UpdateSecPerByte < 0 {
+		return nil, fmt.Errorf("ps: negative update cost")
+	}
+	return &Cluster{
+		eng:          eng,
+		fab:          fab,
+		cfg:          cfg,
+		tensorServer: make(map[tensorID]int),
+		partServer:   make(map[partID]int),
+		aggs:         make(map[subKey]*aggState),
+		recvBytes:    make([]int64, cfg.Servers),
+	}, nil
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// ServerLoad returns the cumulative pushed bytes received by each server.
+func (c *Cluster) ServerLoad() []int64 {
+	out := make([]int64, len(c.recvBytes))
+	copy(out, c.recvBytes)
+	return out
+}
+
+// ServerOf returns the server index (0-based) a partition is assigned to.
+// Assignment is sticky: the first call for a tensor/partition decides.
+func (c *Cluster) ServerOf(sub tensor.Sub) int {
+	tid := tensorID{sub.Parent.Layer, sub.Parent.Name}
+	switch c.cfg.Assignment {
+	case SpreadPartitions:
+		pid := partID{tid, sub.Index}
+		if s, ok := c.partServer[pid]; ok {
+			return s
+		}
+		s := c.nextServer
+		c.nextServer = (c.nextServer + 1) % c.cfg.Servers
+		c.partServer[pid] = s
+		return s
+	default:
+		if s, ok := c.tensorServer[tid]; ok {
+			return s
+		}
+		s := c.nextServer
+		c.nextServer = (c.nextServer + 1) % c.cfg.Servers
+		c.tensorServer[tid] = s
+		return s
+	}
+}
+
+func (c *Cluster) serverNode(server int) int { return c.cfg.Workers + server }
+
+// chunksOf returns the server-directed pieces of a partition. Big-array
+// sharding stripes oversized partitions across every server, starting at
+// the tensor's round-robin home for determinism.
+func (c *Cluster) chunksOf(sub tensor.Sub) []chunk {
+	base := c.ServerOf(sub)
+	if c.cfg.ShardBytes <= 0 || sub.Bytes <= c.cfg.ShardBytes || c.cfg.Servers == 1 {
+		return []chunk{{idx: 0, server: base, bytes: sub.Bytes}}
+	}
+	s := c.cfg.Servers
+	out := make([]chunk, 0, s)
+	stride := sub.Bytes / int64(s)
+	var off int64
+	for i := 0; i < s; i++ {
+		size := stride
+		if i == s-1 {
+			size = sub.Bytes - off
+		}
+		out = append(out, chunk{idx: i, server: (base + i) % s, bytes: size})
+		off += size
+	}
+	return out
+}
+
+func (c *Cluster) key(iter int, sub tensor.Sub, chunkIdx int) subKey {
+	return subKey{iter, partID{tensorID{sub.Parent.Layer, sub.Parent.Name}, sub.Index}, chunkIdx}
+}
+
+func (c *Cluster) agg(key subKey, bytes int64) *aggState {
+	a, ok := c.aggs[key]
+	if !ok {
+		a = &aggState{bytes: bytes}
+		if c.cfg.Async {
+			a.appliedWorkers = make(map[int]bool, c.cfg.Workers)
+		}
+		c.aggs[key] = a
+	}
+	return a
+}
+
+// Push transmits worker's gradient partition to its server (or servers,
+// under big-array sharding) for iteration iter. onAcked (optional) fires
+// when the sender learns the whole partition's push completed — the
+// scheduler's credit-return signal.
+func (c *Cluster) Push(iter, worker int, sub tensor.Sub, onAcked func()) {
+	if worker < 0 || worker >= c.cfg.Workers {
+		panic(fmt.Sprintf("ps: worker %d out of range", worker))
+	}
+	chs := c.chunksOf(sub)
+	acked := countdown(len(chs), onAcked)
+	for _, ch := range chs {
+		ch := ch
+		key := c.key(iter, sub, ch.idx)
+		c.fab.Send(&network.Transfer{
+			Src:   worker,
+			Dst:   c.serverNode(ch.server),
+			Bytes: ch.bytes,
+			Prio:  sub.Parent.Layer,
+			OnDelivered: func() {
+				c.recvBytes[ch.server] += ch.bytes
+				a := c.agg(key, ch.bytes)
+				updateDelay := c.cfg.UpdateSecPerByte * float64(ch.bytes)
+				if c.cfg.Async {
+					// Each push is applied independently.
+					c.eng.Schedule(updateDelay, func() {
+						a.appliedWorkers[worker] = true
+						c.flush(key, a, ch.server)
+					})
+					return
+				}
+				a.pushesApplied++
+				if a.pushesApplied == c.cfg.Workers {
+					c.eng.Schedule(updateDelay, func() {
+						a.updated = true
+						c.flush(key, a, ch.server)
+					})
+				}
+			},
+			OnAcked: acked,
+		})
+	}
+}
+
+// countdown returns a callback that invokes fn after n calls; nil fn yields
+// nil.
+func countdown(n int, fn func()) func() {
+	if fn == nil {
+		return nil
+	}
+	remaining := n
+	return func() {
+		remaining--
+		if remaining == 0 {
+			fn()
+		}
+		if remaining < 0 {
+			panic("ps: countdown underflow")
+		}
+	}
+}
+
+// Pull requests the aggregated parameter partition for worker. onDelivered
+// fires when the data has arrived at the worker (the dependency the next
+// iteration's forward pass waits on); onAcked fires when the scheduler may
+// return credit. The transfer starts as soon as the partition is ready on
+// the server: after all pushes in sync mode, after this worker's own push in
+// async mode.
+func (c *Cluster) Pull(iter, worker int, sub tensor.Sub, onDelivered, onAcked func()) {
+	if worker < 0 || worker >= c.cfg.Workers {
+		panic(fmt.Sprintf("ps: worker %d out of range", worker))
+	}
+	chs := c.chunksOf(sub)
+	delivered := countdown(len(chs), onDelivered)
+	acked := countdown(len(chs), onAcked)
+	for _, ch := range chs {
+		key := c.key(iter, sub, ch.idx)
+		a := c.agg(key, ch.bytes)
+		req := pullReq{worker, delivered, acked}
+		if c.ready(a, worker) {
+			c.startPull(key, a, ch.server, req)
+			continue
+		}
+		a.waiting = append(a.waiting, req)
+	}
+}
+
+// WhenPullable invokes fn as soon as the partition is ready to be pulled by
+// worker for iteration iter: after aggregation and update in sync mode,
+// after the worker's own push is applied in async mode. If already ready,
+// fn runs inline. This lets a scheduler delay issuing the pull (and holding
+// credit) until the pull can actually proceed.
+func (c *Cluster) WhenPullable(iter, worker int, sub tensor.Sub, fn func()) {
+	if worker < 0 || worker >= c.cfg.Workers {
+		panic(fmt.Sprintf("ps: worker %d out of range", worker))
+	}
+	chs := c.chunksOf(sub)
+	each := countdown(len(chs), fn)
+	for _, ch := range chs {
+		key := c.key(iter, sub, ch.idx)
+		a := c.agg(key, ch.bytes)
+		if c.ready(a, worker) {
+			each()
+			continue
+		}
+		a.watchers = append(a.watchers, watch{worker, each})
+	}
+}
+
+func (c *Cluster) ready(a *aggState, worker int) bool {
+	if c.cfg.Async {
+		return a.appliedWorkers[worker]
+	}
+	return a.updated
+}
+
+func (c *Cluster) flush(key subKey, a *aggState, server int) {
+	kept := a.waiting[:0]
+	for _, req := range a.waiting {
+		if c.ready(a, req.worker) {
+			c.startPull(key, a, server, req)
+		} else {
+			kept = append(kept, req)
+		}
+	}
+	for i := len(kept); i < len(a.waiting); i++ {
+		a.waiting[i] = pullReq{}
+	}
+	a.waiting = kept
+
+	keptW := a.watchers[:0]
+	for _, w := range a.watchers {
+		if c.ready(a, w.worker) {
+			w.fn()
+		} else {
+			keptW = append(keptW, w)
+		}
+	}
+	for i := len(keptW); i < len(a.watchers); i++ {
+		a.watchers[i] = watch{}
+	}
+	a.watchers = keptW
+}
+
+func (c *Cluster) startPull(key subKey, a *aggState, server int, req pullReq) {
+	c.fab.Send(&network.Transfer{
+		Src:   c.serverNode(server),
+		Dst:   req.worker,
+		Bytes: a.bytes,
+		OnDelivered: func() {
+			if req.onDelivered != nil {
+				req.onDelivered()
+			}
+			a.pullsDelivered++
+			if a.pullsDelivered == c.cfg.Workers && len(a.waiting) == 0 && len(a.watchers) == 0 {
+				delete(c.aggs, key) // all workers served; reclaim
+			}
+		},
+		OnAcked: req.onAcked,
+	})
+}
+
+// Outstanding returns the number of live aggregation entries; useful for
+// leak checks in tests.
+func (c *Cluster) Outstanding() int { return len(c.aggs) }
+
+// LoadImbalance returns max/mean of per-server received bytes; 1.0 is
+// perfectly balanced. Returns 0 before any traffic.
+func (c *Cluster) LoadImbalance() float64 {
+	var sum, max int64
+	for _, b := range c.recvBytes {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(c.recvBytes))
+	return float64(max) / mean
+}

@@ -1,0 +1,285 @@
+package ps
+
+import (
+	"testing"
+
+	"bytescheduler/internal/network"
+	"bytescheduler/internal/sim"
+	"bytescheduler/internal/tensor"
+)
+
+func newTestCluster(t *testing.T, eng *sim.Engine, cfg Config) *Cluster {
+	t.Helper()
+	fab := network.NewFabric(eng, cfg.Workers+cfg.Servers, 10, network.RDMA())
+	c, err := New(eng, fab, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func sub(layer int, name string, bytes int64) tensor.Sub {
+	return tensor.Partition(tensor.Tensor{Layer: layer, Name: name, Bytes: bytes}, 0)[0]
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := sim.New()
+	fab := network.NewFabric(eng, 3, 10, network.TCP())
+	if _, err := New(eng, fab, Config{Workers: 0, Servers: 1}); err == nil {
+		t.Error("accepted zero workers")
+	}
+	if _, err := New(eng, fab, Config{Workers: 2, Servers: 2}); err == nil {
+		t.Error("accepted mismatched fabric size")
+	}
+	if _, err := New(eng, fab, Config{Workers: 2, Servers: 1, UpdateSecPerByte: -1}); err == nil {
+		t.Error("accepted negative update cost")
+	}
+	if _, err := New(eng, fab, Config{Workers: 2, Servers: 1}); err != nil {
+		t.Errorf("rejected valid config: %v", err)
+	}
+}
+
+func TestSyncPushPullSingleWorker(t *testing.T) {
+	eng := sim.New()
+	c := newTestCluster(t, eng, Config{Workers: 1, Servers: 1})
+	var pushAcked, pullDone bool
+	s := sub(0, "w", 1<<20)
+	c.Push(0, 0, s, func() { pushAcked = true })
+	c.Pull(0, 0, s, func() { pullDone = true }, nil)
+	eng.Run()
+	if !pushAcked || !pullDone {
+		t.Fatalf("pushAcked=%v pullDone=%v", pushAcked, pullDone)
+	}
+	if c.Outstanding() != 0 {
+		t.Fatalf("leaked %d aggregation entries", c.Outstanding())
+	}
+}
+
+func TestSyncWaitsForAllWorkers(t *testing.T) {
+	eng := sim.New()
+	c := newTestCluster(t, eng, Config{Workers: 2, Servers: 1})
+	s := sub(0, "w", 1<<20)
+	var pull0At float64 = -1
+	c.Push(0, 0, s, nil)
+	c.Pull(0, 0, s, func() { pull0At = eng.Now() }, nil)
+	// Worker 1 pushes much later.
+	var push1Start float64 = 0.5
+	eng.Schedule(push1Start, func() { c.Push(0, 1, s, nil) })
+	eng.Schedule(push1Start, func() { c.Pull(0, 1, s, nil, nil) })
+	eng.Run()
+	if pull0At < push1Start {
+		t.Fatalf("sync pull served at %v before worker 1 pushed at %v", pull0At, push1Start)
+	}
+}
+
+func TestAsyncDoesNotWait(t *testing.T) {
+	eng := sim.New()
+	c := newTestCluster(t, eng, Config{Workers: 2, Servers: 1, Async: true})
+	s := sub(0, "w", 1<<20)
+	var pull0At float64 = -1
+	c.Push(0, 0, s, nil)
+	c.Pull(0, 0, s, func() { pull0At = eng.Now() }, nil)
+	// Worker 1 never pushes; async worker 0 must still be served.
+	eng.Run()
+	if pull0At < 0 {
+		t.Fatal("async pull never served")
+	}
+	if pull0At > 0.1 {
+		t.Fatalf("async pull too late: %v", pull0At)
+	}
+}
+
+func TestAsyncRequiresOwnPush(t *testing.T) {
+	eng := sim.New()
+	c := newTestCluster(t, eng, Config{Workers: 2, Servers: 1, Async: true})
+	s := sub(0, "w", 1<<20)
+	served := false
+	// Worker 1 pushes, worker 0 only pulls: worker 0 must wait (its own
+	// push is the async readiness condition).
+	c.Push(0, 1, s, nil)
+	c.Pull(0, 0, s, func() { served = true }, nil)
+	eng.Run()
+	if served {
+		t.Fatal("async pull served without the worker's own push")
+	}
+}
+
+func TestPartitionGranularityPulls(t *testing.T) {
+	// Partition 0 of a tensor must be pullable while partition 1 is still
+	// being pushed (Theorem 1 condition 3).
+	eng := sim.New()
+	fab := network.NewFabric(eng, 2, 10, network.RDMA())
+	c, err := New(eng, fab, Config{Workers: 1, Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent := tensor.Tensor{Layer: 0, Name: "w", Bytes: 100 << 20}
+	parts := tensor.Partition(parent, 50<<20)
+	var part0PulledAt, part1PushedAt float64 = -1, -1
+	c.Push(0, 0, parts[0], nil)
+	c.Pull(0, 0, parts[0], func() { part0PulledAt = eng.Now() }, nil)
+	c.Push(0, 0, parts[1], func() { part1PushedAt = eng.Now() })
+	c.Pull(0, 0, parts[1], nil, nil)
+	eng.Run()
+	if part0PulledAt < 0 || part1PushedAt < 0 {
+		t.Fatal("operations did not complete")
+	}
+	// Had the pull waited for the whole tensor to be pushed (no partition
+	// granularity), it would finish no earlier than 3 half-transfers:
+	// push(part0)+push(part1)+pull(part0). With overlap it finishes in ~2.
+	tHalf := fab.TransferTime(50 << 20)
+	if part0PulledAt > 2.5*tHalf {
+		t.Fatalf("pull of part 0 at %v, want ~%v (overlap with push of part 1)", part0PulledAt, 2*tHalf)
+	}
+}
+
+func TestRoundRobinTensorAssignment(t *testing.T) {
+	eng := sim.New()
+	c := newTestCluster(t, eng, Config{Workers: 1, Servers: 3})
+	s0 := c.ServerOf(sub(0, "a", 1))
+	s1 := c.ServerOf(sub(1, "b", 1))
+	s2 := c.ServerOf(sub(2, "c", 1))
+	s3 := c.ServerOf(sub(3, "d", 1))
+	if s0 != 0 || s1 != 1 || s2 != 2 || s3 != 0 {
+		t.Fatalf("round robin gave %d %d %d %d", s0, s1, s2, s3)
+	}
+	// Sticky: same tensor, same server, regardless of partition.
+	parent := tensor.Tensor{Layer: 0, Name: "a", Bytes: 1000}
+	for _, p := range tensor.Partition(parent, 100) {
+		if got := c.ServerOf(p); got != s0 {
+			t.Fatalf("partition %d of tensor a on server %d, want %d", p.Index, got, s0)
+		}
+	}
+}
+
+func TestSpreadPartitionsAssignment(t *testing.T) {
+	eng := sim.New()
+	c := newTestCluster(t, eng, Config{Workers: 1, Servers: 3, Assignment: SpreadPartitions})
+	parent := tensor.Tensor{Layer: 0, Name: "a", Bytes: 900}
+	parts := tensor.Partition(parent, 300)
+	seen := map[int]bool{}
+	for _, p := range parts {
+		seen[c.ServerOf(p)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("3 partitions landed on %d servers, want 3", len(seen))
+	}
+	// Sticky across calls.
+	for _, p := range parts {
+		a := c.ServerOf(p)
+		b := c.ServerOf(p)
+		if a != b {
+			t.Fatal("assignment not sticky")
+		}
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	// One dominant tensor, naive assignment: all its bytes land on one
+	// server. With spreading, the load evens out.
+	run := func(assign Assignment, unit int64) float64 {
+		eng := sim.New()
+		c := newTestCluster(t, eng, Config{Workers: 2, Servers: 2, Assignment: assign})
+		big := tensor.Tensor{Layer: 0, Name: "big", Bytes: 64 << 20}
+		small := tensor.Tensor{Layer: 1, Name: "small", Bytes: 1 << 20}
+		for w := 0; w < 2; w++ {
+			for _, tt := range []tensor.Tensor{big, small} {
+				for _, p := range tensor.Partition(tt, unit) {
+					c.Push(0, w, p, nil)
+					c.Pull(0, w, p, nil, nil)
+				}
+			}
+		}
+		eng.Run()
+		return c.LoadImbalance()
+	}
+	naive := run(RoundRobinTensor, 0)
+	spread := run(SpreadPartitions, 4<<20)
+	if naive < 1.5 {
+		t.Fatalf("naive imbalance %.2f, want heavily imbalanced", naive)
+	}
+	if spread > 1.2 {
+		t.Fatalf("spread imbalance %.2f, want ~1.0", spread)
+	}
+}
+
+func TestIterationsAreIndependent(t *testing.T) {
+	eng := sim.New()
+	c := newTestCluster(t, eng, Config{Workers: 2, Servers: 1})
+	s := sub(0, "w", 1<<20)
+	var it1Pull float64 = -1
+	// Iteration 0: both workers. Iteration 1: both workers, later.
+	c.Push(0, 0, s, nil)
+	c.Push(0, 1, s, nil)
+	c.Pull(0, 0, s, nil, nil)
+	c.Pull(0, 1, s, nil, nil)
+	eng.Schedule(0.1, func() {
+		c.Push(1, 0, s, nil)
+		c.Push(1, 1, s, nil)
+		c.Pull(1, 0, s, func() { it1Pull = eng.Now() }, nil)
+		c.Pull(1, 1, s, nil, nil)
+	})
+	eng.Run()
+	if it1Pull < 0.1 {
+		t.Fatalf("iteration 1 pull at %v; cross-iteration aggregation leak", it1Pull)
+	}
+	if c.Outstanding() != 0 {
+		t.Fatalf("leaked %d entries", c.Outstanding())
+	}
+}
+
+func TestUpdateCostDelaysPull(t *testing.T) {
+	eng := sim.New()
+	fab := network.NewFabric(eng, 2, 10, network.RDMA())
+	slow, err := New(eng, fab, Config{Workers: 1, Servers: 1, UpdateSecPerByte: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := sub(0, "w", 1<<20)
+	var slowAt float64
+	slow.Push(0, 0, s, nil)
+	slow.Pull(0, 0, s, func() { slowAt = eng.Now() }, nil)
+	eng.Run()
+
+	eng2 := sim.New()
+	fab2 := network.NewFabric(eng2, 2, 10, network.RDMA())
+	fast, err := New(eng2, fab2, Config{Workers: 1, Servers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fastAt float64
+	fast.Push(0, 0, s, nil)
+	fast.Pull(0, 0, s, func() { fastAt = eng2.Now() }, nil)
+	eng2.Run()
+	wantDelta := 1e-6 * float64(1<<20)
+	if slowAt-fastAt < wantDelta*0.9 {
+		t.Fatalf("update cost not applied: slow=%v fast=%v", slowAt, fastAt)
+	}
+}
+
+func TestWorkerRangePanics(t *testing.T) {
+	eng := sim.New()
+	c := newTestCluster(t, eng, Config{Workers: 1, Servers: 1})
+	for name, fn := range map[string]func(){
+		"push": func() { c.Push(0, 5, sub(0, "w", 1), nil) },
+		"pull": func() { c.Pull(0, -1, sub(0, "w", 1), nil, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: out-of-range worker accepted", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAssignmentString(t *testing.T) {
+	if RoundRobinTensor.String() != "round-robin-tensor" || SpreadPartitions.String() != "spread-partitions" {
+		t.Fatal("Assignment.String wrong")
+	}
+	if Assignment(9).String() == "" {
+		t.Fatal("unknown assignment should still format")
+	}
+}

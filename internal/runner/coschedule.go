@@ -1,0 +1,98 @@
+package runner
+
+import (
+	"fmt"
+
+	"bytescheduler/internal/engine"
+	"bytescheduler/internal/network"
+	"bytescheduler/internal/plugin"
+	"bytescheduler/internal/ps"
+	"bytescheduler/internal/sim"
+)
+
+// RunCoScheduled runs several PS training jobs over one shared fabric — the
+// paper's §7 "co-scheduling in a shared cluster" scenario: jobs contend for
+// worker NICs and PS NICs, each job scheduling its own traffic obliviously
+// to the others. All jobs must agree on machine count, bandwidth, transport
+// and use the PS architecture; they may train different models under
+// different policies.
+//
+// Results are per job, in input order. Each job runs its configured number
+// of iterations; jobs that finish early leave the fabric to the rest, so
+// compare per-job speeds with equal iteration budgets for a fair reading.
+func RunCoScheduled(cfgs []Config) ([]Result, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("runner: no jobs")
+	}
+	for i := range cfgs {
+		cfgs[i] = cfgs[i].withDefaults()
+		if err := cfgs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("runner: job %d: %w", i, err)
+		}
+		if cfgs[i].Arch != PS {
+			return nil, fmt.Errorf("runner: job %d: co-scheduling supports the PS architecture", i)
+		}
+		if cfgs[i].Machines() != cfgs[0].Machines() ||
+			cfgs[i].BandwidthGbps != cfgs[0].BandwidthGbps ||
+			cfgs[i].Transport.Name != cfgs[0].Transport.Name {
+			return nil, fmt.Errorf("runner: job %d: cluster shape must match job 0", i)
+		}
+	}
+
+	se := sim.New()
+	machines := cfgs[0].Machines()
+	fab := network.NewFabric(se, 2*machines, cfgs[0].BandwidthGbps, cfgs[0].Transport)
+
+	type job struct {
+		cfg     Config
+		eng     *engine.Engine
+		plug    *plugin.PSPlugin
+		cluster *ps.Cluster
+	}
+	jobs := make([]*job, 0, len(cfgs))
+	for i, cfg := range cfgs {
+		assignment := ps.RoundRobinTensor
+		if cfg.Policy.PartitionUnit > 0 {
+			assignment = ps.SpreadPartitions
+		}
+		if cfg.Assignment != nil {
+			assignment = *cfg.Assignment
+		}
+		cluster, err := ps.New(se, fab, ps.Config{
+			Workers:          machines,
+			Servers:          machines,
+			Assignment:       assignment,
+			Async:            cfg.Async,
+			UpdateSecPerByte: ps.DefaultUpdateSecPerByte,
+			ShardBytes:       psShardBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("runner: job %d: %w", i, err)
+		}
+		plug := plugin.NewPS(cluster, cfg.Model, cfg.Policy)
+		engCfg := engineConfig(cfg)
+		// Jobs on the same hosts contend for the NIC, not the GPUs: each
+		// job keeps its own engine (its own GPUs).
+		eng, err := engine.New(se, engCfg, plug)
+		if err != nil {
+			return nil, fmt.Errorf("runner: job %d: %w", i, err)
+		}
+		jobs = append(jobs, &job{cfg: cfg, eng: eng, plug: plug, cluster: cluster})
+	}
+	for _, j := range jobs {
+		j.eng.Start()
+	}
+	se.Run()
+
+	results := make([]Result, len(jobs))
+	for i, j := range jobs {
+		res := summarize(j.cfg, j.eng.Result())
+		res.LoadImbalance = j.cluster.LoadImbalance()
+		for w := 0; w < machines; w++ {
+			res.UpStats = addStats(res.UpStats, j.plug.UpScheduler(w).Stats())
+			res.DownStats = addStats(res.DownStats, j.plug.DownScheduler(w).Stats())
+		}
+		results[i] = res
+	}
+	return results, nil
+}

@@ -1,0 +1,206 @@
+package runner
+
+import (
+	"testing"
+
+	"bytescheduler/internal/core"
+	"bytescheduler/internal/model"
+	"bytescheduler/internal/network"
+	"bytescheduler/internal/plugin"
+)
+
+func onlineBase(t *testing.T) OnlineConfig {
+	t.Helper()
+	return OnlineConfig{
+		Config: Config{
+			Model:         model.VGG16(),
+			Framework:     plugin.MXNet,
+			Arch:          PS,
+			Transport:     network.RDMA(),
+			BandwidthGbps: 100,
+			GPUs:          16,
+			// Deliberately poor starting parameters: huge partitions.
+			Policy:    core.ByteScheduler(64<<20, 64<<20),
+			Scheduled: true,
+		},
+		WindowIters:    4,
+		Trials:         8,
+		FinalWindows:   2,
+		TuneSeed:       5,
+		RestartPenalty: 5,
+	}
+}
+
+func TestOnlineTuningImproves(t *testing.T) {
+	res, err := RunOnlineTuned(onlineBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) == 0 || res.FirstWindowSpeed <= 0 {
+		t.Fatalf("no windows recorded: %+v", res)
+	}
+	if res.FinalSpeed <= res.FirstWindowSpeed {
+		t.Fatalf("online tuning did not improve: first %.0f final %.0f",
+			res.FirstWindowSpeed, res.FinalSpeed)
+	}
+	if res.BestPartition <= 0 || res.BestCredit <= 0 {
+		t.Fatalf("no best configuration: %+v", res)
+	}
+	// The tuned partition must be far below the terrible 64MB start.
+	if res.BestPartition >= 32<<20 {
+		t.Fatalf("tuner stuck near the bad start: partition %d", res.BestPartition)
+	}
+}
+
+func TestOnlineTuningRestartAccounting(t *testing.T) {
+	res, err := RunOnlineTuned(onlineBase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restarts == 0 {
+		t.Fatal("partition changes must count as PS restarts")
+	}
+	if res.TuningOverhead != float64(res.Restarts)*5 {
+		t.Fatalf("overhead %.1f != restarts %d x 5s", res.TuningOverhead, res.Restarts)
+	}
+	// All-reduce adjusts live: no overhead.
+	oc := onlineBase(t)
+	oc.Arch = AllReduce
+	arRes, err := RunOnlineTuned(oc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arRes.TuningOverhead != 0 {
+		t.Fatalf("all-reduce tuning overhead %.1f, want 0", arRes.TuningOverhead)
+	}
+}
+
+func TestOnlineTuningUnderJitter(t *testing.T) {
+	oc := onlineBase(t)
+	oc.Jitter = 0.05
+	oc.Seed = 3
+	res, err := RunOnlineTuned(oc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalSpeed <= res.FirstWindowSpeed {
+		t.Fatalf("noisy online tuning did not improve: first %.0f final %.0f",
+			res.FirstWindowSpeed, res.FinalSpeed)
+	}
+}
+
+func TestOnlineTuningValidation(t *testing.T) {
+	oc := onlineBase(t)
+	oc.Policy = core.FIFO()
+	oc.Scheduled = false
+	if _, err := RunOnlineTuned(oc); err == nil {
+		t.Fatal("accepted an unscheduled starting policy")
+	}
+}
+
+func TestCoScheduledContention(t *testing.T) {
+	mk := func(policy core.Policy, scheduled bool) Config {
+		return Config{
+			Model:         model.VGG16(),
+			Framework:     plugin.MXNet,
+			Arch:          PS,
+			Transport:     network.RDMA(),
+			BandwidthGbps: 100,
+			GPUs:          16,
+			Policy:        policy,
+			Scheduled:     scheduled,
+			Iterations:    10,
+			Warmup:        2,
+		}
+	}
+	solo, err := Run(mk(core.ByteScheduler(2<<20, 16<<20), true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := RunCoScheduled([]Config{
+		mk(core.ByteScheduler(2<<20, 16<<20), true),
+		mk(core.ByteScheduler(2<<20, 16<<20), true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shared) != 2 {
+		t.Fatalf("results = %d", len(shared))
+	}
+	for i, r := range shared {
+		if r.SamplesPerSec <= 0 {
+			t.Fatalf("job %d degenerate", i)
+		}
+		// Sharing the fabric must cost something but not everything.
+		if r.SamplesPerSec >= solo.SamplesPerSec {
+			t.Fatalf("job %d unaffected by contention: %.0f vs solo %.0f", i, r.SamplesPerSec, solo.SamplesPerSec)
+		}
+		if r.SamplesPerSec < solo.SamplesPerSec*0.3 {
+			t.Fatalf("job %d starved: %.0f vs solo %.0f", i, r.SamplesPerSec, solo.SamplesPerSec)
+		}
+	}
+	// Symmetric jobs should see similar speeds.
+	ratio := shared[0].SamplesPerSec / shared[1].SamplesPerSec
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Fatalf("asymmetric outcomes for symmetric jobs: %.0f vs %.0f",
+			shared[0].SamplesPerSec, shared[1].SamplesPerSec)
+	}
+}
+
+func TestCoScheduledSchedulingStillHelps(t *testing.T) {
+	mk := func(policy core.Policy, scheduled bool) Config {
+		return Config{
+			Model:         model.VGG16(),
+			Framework:     plugin.MXNet,
+			Arch:          PS,
+			Transport:     network.RDMA(),
+			BandwidthGbps: 100,
+			GPUs:          16,
+			Policy:        policy,
+			Scheduled:     scheduled,
+			Iterations:    10,
+			Warmup:        2,
+		}
+	}
+	fifoJobs, err := RunCoScheduled([]Config{mk(core.FIFO(), false), mk(core.FIFO(), false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bsJobs, err := RunCoScheduled([]Config{
+		mk(core.ByteScheduler(2<<20, 16<<20), true),
+		mk(core.ByteScheduler(2<<20, 16<<20), true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fifoTotal := fifoJobs[0].SamplesPerSec + fifoJobs[1].SamplesPerSec
+	bsTotal := bsJobs[0].SamplesPerSec + bsJobs[1].SamplesPerSec
+	if bsTotal <= fifoTotal {
+		t.Fatalf("scheduling stopped helping under contention: %.0f vs %.0f", bsTotal, fifoTotal)
+	}
+}
+
+func TestCoScheduledValidation(t *testing.T) {
+	good := Config{
+		Model:         model.VGG16(),
+		Framework:     plugin.MXNet,
+		Arch:          PS,
+		Transport:     network.RDMA(),
+		BandwidthGbps: 100,
+		GPUs:          16,
+		Policy:        core.FIFO(),
+	}
+	if _, err := RunCoScheduled(nil); err == nil {
+		t.Error("accepted zero jobs")
+	}
+	ar := good
+	ar.Arch = AllReduce
+	if _, err := RunCoScheduled([]Config{good, ar}); err == nil {
+		t.Error("accepted all-reduce job")
+	}
+	big := good
+	big.GPUs = 32
+	if _, err := RunCoScheduled([]Config{good, big}); err == nil {
+		t.Error("accepted mismatched cluster shapes")
+	}
+}

@@ -1,0 +1,361 @@
+// Package runner wires models, engines, plugins, schedulers and substrates
+// into complete simulated training runs matching the paper's evaluation
+// setups (§6.1): a cluster of machines with 8 GPUs each, PS or all-reduce
+// gradient synchronization, TCP or RDMA transport at 1–100 Gbps, driven by
+// MXNet-, TensorFlow- or PyTorch-flavored engines under a configurable
+// scheduling policy.
+package runner
+
+import (
+	"fmt"
+
+	"bytescheduler/internal/allreduce"
+	"bytescheduler/internal/compress"
+	"bytescheduler/internal/core"
+	"bytescheduler/internal/engine"
+	"bytescheduler/internal/model"
+	"bytescheduler/internal/network"
+	"bytescheduler/internal/plugin"
+	"bytescheduler/internal/ps"
+	"bytescheduler/internal/sim"
+	"bytescheduler/internal/trace"
+)
+
+// Arch selects the gradient synchronization architecture.
+type Arch int
+
+const (
+	// PS is the parameter-server architecture.
+	PS Arch = iota
+	// AllReduce is ring all-reduce (the paper's "NCCL" setups).
+	AllReduce
+)
+
+// String returns the architecture name.
+func (a Arch) String() string {
+	switch a {
+	case PS:
+		return "PS"
+	case AllReduce:
+		return "NCCL"
+	}
+	return fmt.Sprintf("Arch(%d)", int(a))
+}
+
+// DefaultGPUsPerMachine matches the paper's testbed (8x V100 per server).
+const DefaultGPUsPerMachine = 8
+
+// psShardBytes emulates MXNet's big-array bound: the vanilla PS stripes any
+// tensor larger than this across all servers, bounding single-server
+// hot-spotting in the baseline.
+const psShardBytes = 32 << 20
+
+// intraMachineBytesPerSec is the effective intra-machine aggregation
+// bandwidth for PS setups (8 GPUs copying gradients to host memory and
+// reducing there). Gradients pay a 2(G-1)/G per-byte cost before the NIC
+// sees them.
+const intraMachineBytesPerSec = 50e9
+
+// ncclIntraBytesPerSec is the effective intra-machine ring bus bandwidth for
+// NCCL setups (PCIe, no NVLink on the paper's testbed); the intra stage is
+// part of every collective, so all-reduce communication exists even on a
+// single machine.
+const ncclIntraBytesPerSec = 10e9
+
+// Config describes one training run.
+type Config struct {
+	// Model is the DNN to train.
+	Model *model.Model
+	// Framework selects engine flavor and barrier behavior.
+	Framework plugin.Framework
+	// Arch selects PS or all-reduce.
+	Arch Arch
+	// Transport is the network profile (network.TCP() / network.RDMA()).
+	Transport network.Profile
+	// BandwidthGbps is the per-direction NIC speed.
+	BandwidthGbps float64
+	// GPUs is the total GPU count; must be a multiple of GPUsPerMachine.
+	GPUs int
+	// GPUsPerMachine defaults to DefaultGPUsPerMachine when zero.
+	GPUsPerMachine int
+	// Policy is the communication scheduling policy (core.FIFO() for the
+	// vanilla baseline).
+	Policy core.Policy
+	// Scheduled enables ByteScheduler integration: per-layer out-of-engine
+	// dependencies replace the global barrier on TensorFlow/PyTorch.
+	// Vanilla baselines leave it false.
+	Scheduled bool
+	// Async selects asynchronous PS training (ignored for all-reduce).
+	Async bool
+	// Collective selects the all-reduce algorithm (ring by default;
+	// ignored for PS).
+	Collective allreduce.Algorithm
+	// Compression, if non-nil, applies gradient compression: the
+	// substrates move the compressed sizes and every gradient pays the
+	// codec latency before it is announced. Orthogonal to scheduling
+	// (§8).
+	Compression *compress.Compressor
+	// Assignment overrides the PS tensor placement; nil selects the
+	// natural default — naive whole-tensor round-robin for unpartitioned
+	// policies, partition spreading when the policy partitions.
+	Assignment *ps.Assignment
+	// Iterations and Warmup control measurement (paper: 500 after 10; the
+	// simulator is deterministic, so defaults are smaller).
+	Iterations, Warmup int
+	// Jitter adds relative compute-time noise; Seed seeds it.
+	Jitter float64
+	Seed   int64
+	// Trace, if non-nil, records GPU spans.
+	Trace *trace.Recorder
+}
+
+// withDefaults fills derived fields.
+func (c Config) withDefaults() Config {
+	if c.GPUsPerMachine == 0 {
+		c.GPUsPerMachine = DefaultGPUsPerMachine
+	}
+	if c.Iterations == 0 {
+		c.Iterations = 12
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Model == nil {
+		return fmt.Errorf("runner: nil model")
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.BandwidthGbps <= 0 {
+		return fmt.Errorf("runner: non-positive bandwidth %v", c.BandwidthGbps)
+	}
+	if c.GPUs <= 0 || c.GPUs%c.GPUsPerMachine != 0 {
+		return fmt.Errorf("runner: GPUs=%d not a positive multiple of %d per machine", c.GPUs, c.GPUsPerMachine)
+	}
+	if err := c.Policy.Validate(); err != nil {
+		return err
+	}
+	if c.Warmup >= c.Iterations {
+		return fmt.Errorf("runner: warmup %d >= iterations %d", c.Warmup, c.Iterations)
+	}
+	switch c.Arch {
+	case PS, AllReduce:
+	default:
+		return fmt.Errorf("runner: unknown arch %d", int(c.Arch))
+	}
+	return nil
+}
+
+// Machines returns the number of worker machines.
+func (c Config) Machines() int {
+	c = c.withDefaults()
+	return c.GPUs / c.GPUsPerMachine
+}
+
+// Name returns a human-readable setup label like
+// "MXNet PS RDMA VGG16 x32gpu".
+func (c Config) Name() string {
+	return fmt.Sprintf("%v %v %s %s x%dgpu", c.Framework, c.Arch, c.Transport.Name, c.Model.Name, c.GPUs)
+}
+
+// Result summarizes a run.
+type Result struct {
+	// SamplesPerSec is the aggregate training speed (images/s or
+	// tokens/s).
+	SamplesPerSec float64
+	// IterTime is the steady-state per-iteration time in seconds.
+	IterTime float64
+	// LoadImbalance is the PS max/mean received-byte ratio (0 for
+	// all-reduce).
+	LoadImbalance float64
+	// GPUUtilization is worker 0's compute busy fraction; its complement
+	// is the communication stall scheduling exists to shrink.
+	GPUUtilization float64
+	// UpStats aggregates the push/master scheduler counters across
+	// workers; DownStats the pull side (PS only).
+	UpStats, DownStats core.Stats
+}
+
+// instance is a wired simulation ready to start.
+type instance struct {
+	se        *sim.Engine
+	eng       *engine.Engine
+	setParams func(partition, credit int64)
+	collect   func(res *Result) error
+}
+
+// build wires a complete simulation from the configuration. engCfg lets
+// callers attach hooks (e.g. OnIteration for online tuning) before wiring.
+func build(cfg Config, engCfg engine.Config) (*instance, error) {
+	if cfg.Compression != nil {
+		if err := cfg.Compression.Validate(); err != nil {
+			return nil, err
+		}
+		// The substrates (and the engine's per-layer byte accounting)
+		// see compressed sizes; the codec latency rides the
+		// gradient-ready path alongside local aggregation.
+		cfg.Model = cfg.Compression.Apply(cfg.Model)
+		engCfg.Model = cfg.Model
+		engCfg.LocalAggSecPerByte += cfg.Compression.CodecSecPerByte()
+	}
+	se := sim.New()
+	machines := cfg.Machines()
+	inst := &instance{se: se}
+	switch cfg.Arch {
+	case PS:
+		fab := network.NewFabric(se, 2*machines, cfg.BandwidthGbps, cfg.Transport)
+		fab.SetTrace(cfg.Trace)
+		assignment := ps.RoundRobinTensor
+		if cfg.Policy.PartitionUnit > 0 {
+			assignment = ps.SpreadPartitions
+		}
+		if cfg.Assignment != nil {
+			assignment = *cfg.Assignment
+		}
+		cluster, err := ps.New(se, fab, ps.Config{
+			Workers:          machines,
+			Servers:          machines,
+			Assignment:       assignment,
+			Async:            cfg.Async,
+			UpdateSecPerByte: ps.DefaultUpdateSecPerByte,
+			ShardBytes:       psShardBytes,
+		})
+		if err != nil {
+			return nil, err
+		}
+		plug := plugin.NewPS(cluster, cfg.Model, cfg.Policy)
+		eng, err := engine.New(se, engCfg, plug)
+		if err != nil {
+			return nil, err
+		}
+		inst.eng = eng
+		inst.setParams = plug.SetParams
+		inst.collect = func(res *Result) error {
+			res.LoadImbalance = cluster.LoadImbalance()
+			for w := 0; w < machines; w++ {
+				res.UpStats = addStats(res.UpStats, plug.UpScheduler(w).Stats())
+				res.DownStats = addStats(res.DownStats, plug.DownScheduler(w).Stats())
+			}
+			return nil
+		}
+	case AllReduce:
+		ring, err := allreduce.New(se, machines, cfg.BandwidthGbps, cfg.Transport)
+		if err != nil {
+			return nil, err
+		}
+		ring.SetIntraNode(cfg.GPUsPerMachine, ncclIntraBytesPerSec)
+		ring.SetAlgorithm(cfg.Collective)
+		ring.SetTrace(cfg.Trace)
+		plug := plugin.NewAllReduce(ring, cfg.Model, machines, cfg.Policy)
+		eng, err := engine.New(se, engCfg, plug)
+		if err != nil {
+			return nil, err
+		}
+		inst.eng = eng
+		inst.setParams = plug.SetParams
+		inst.collect = func(res *Result) error {
+			if plug.Outstanding() != 0 {
+				return fmt.Errorf("runner: %d collectives never completed", plug.Outstanding())
+			}
+			res.UpStats = plug.Scheduler().Stats()
+			return nil
+		}
+	default:
+		return nil, fmt.Errorf("runner: unknown arch %d", int(cfg.Arch))
+	}
+	return inst, nil
+}
+
+// engineConfig derives the engine configuration from cfg.
+func engineConfig(cfg Config) engine.Config {
+	// PS workers aggregate local GPUs before the NIC sees a gradient; for
+	// all-reduce the intra-node stage is part of the collective itself.
+	localAgg := 2 * float64(cfg.GPUsPerMachine-1) / float64(cfg.GPUsPerMachine) / intraMachineBytesPerSec
+	if cfg.Arch == AllReduce {
+		localAgg = 0
+	}
+	return engine.Config{
+		Model:              cfg.Model,
+		Workers:            cfg.Machines(),
+		Mode:               cfg.Framework.EngineMode(),
+		Dependency:         cfg.Framework.DependencyMode(cfg.Scheduled),
+		Iterations:         cfg.Iterations,
+		LocalAggSecPerByte: localAgg,
+		Jitter:             cfg.Jitter,
+		Seed:               cfg.Seed,
+		Trace:              cfg.Trace,
+	}
+}
+
+// Run executes the configured training and returns its measured speed.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	inst, err := build(cfg, engineConfig(cfg))
+	if err != nil {
+		return Result{}, err
+	}
+	inst.eng.Start()
+	inst.se.Run()
+	if leaked := inst.eng.OutstandingGates(); leaked != 0 {
+		return Result{}, fmt.Errorf("runner: %d communication gates never opened", leaked)
+	}
+	res := summarize(cfg, inst.eng.Result())
+	res.GPUUtilization = inst.eng.GPUUtilization(0)
+	if err := inst.collect(&res); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+func summarize(cfg Config, er engine.Result) Result {
+	iter := er.AvgIterTime(cfg.Warmup)
+	samplesPerIter := float64(cfg.Model.BatchPerGPU) * float64(cfg.GPUs)
+	return Result{
+		IterTime:      iter,
+		SamplesPerSec: samplesPerIter / iter,
+	}
+}
+
+func addStats(a, b core.Stats) core.Stats {
+	a.TasksEnqueued += b.TasksEnqueued
+	a.SubsStarted += b.SubsStarted
+	a.SubsFinished += b.SubsFinished
+	a.Preemptions += b.Preemptions
+	if b.MaxQueueLen > a.MaxQueueLen {
+		a.MaxQueueLen = b.MaxQueueLen
+	}
+	if b.MaxInflightBytes > a.MaxInflightBytes {
+		a.MaxInflightBytes = b.MaxInflightBytes
+	}
+	return a
+}
+
+// LinearScaling returns the paper's linear-scalability reference: the
+// computation-only speed of the configured GPU count (single-machine vanilla
+// speed multiplied by machine count).
+func LinearScaling(cfg Config) float64 {
+	cfg = cfg.withDefaults()
+	return cfg.Model.PerGPUSpeed * float64(cfg.GPUs)
+}
+
+// SpeedWithParams runs cfg under a ByteScheduler policy with the given
+// partition and credit sizes (bytes) and returns the training speed. This is
+// the auto-tuner's objective function.
+func SpeedWithParams(cfg Config, partition, credit int64) (float64, error) {
+	cfg.Policy = core.ByteScheduler(partition, credit)
+	cfg.Scheduled = true
+	res, err := Run(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return res.SamplesPerSec, nil
+}

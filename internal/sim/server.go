@@ -1,0 +1,86 @@
+package sim
+
+// Server models a resource that serves one job at a time in FIFO order, such
+// as a GPU compute stream or a NIC transmit queue. Jobs are non-preemptible
+// once started, which is exactly the property that makes communication
+// scheduling matter: a large tensor that has entered the queue blocks
+// higher-priority tensors behind it.
+type Server struct {
+	eng     *Engine
+	name    string
+	busy    bool
+	busyEnd Time
+	queue   []*job
+	// LastIdleAt records when the server last became idle; it is used to
+	// account utilization.
+	lastIdleAt Time
+	busyTime   Time
+	served     uint64
+}
+
+type job struct {
+	duration Time
+	onStart  func()
+	onDone   func()
+}
+
+// NewServer returns an idle server attached to eng. The name is used only
+// for diagnostics.
+func NewServer(eng *Engine, name string) *Server {
+	return &Server{eng: eng, name: name}
+}
+
+// Name returns the diagnostic name given at construction.
+func (s *Server) Name() string { return s.name }
+
+// Busy reports whether a job is currently in service.
+func (s *Server) Busy() bool { return s.busy }
+
+// BusyEnd returns the time the in-service job completes; meaningful only
+// when Busy is true.
+func (s *Server) BusyEnd() Time { return s.busyEnd }
+
+// QueueLen returns the number of jobs waiting (not counting the one in
+// service).
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Served returns the number of jobs completed so far.
+func (s *Server) Served() uint64 { return s.served }
+
+// BusyTime returns the cumulative time the server has spent serving jobs.
+func (s *Server) BusyTime() Time { return s.busyTime }
+
+// Submit enqueues a job of the given duration. onStart runs when service
+// begins (may be immediately, inline) and onDone when it completes. Either
+// callback may be nil.
+func (s *Server) Submit(duration Time, onStart, onDone func()) {
+	if duration < 0 {
+		panic("sim: negative job duration")
+	}
+	j := &job{duration: duration, onStart: onStart, onDone: onDone}
+	s.queue = append(s.queue, j)
+	s.dispatch()
+}
+
+func (s *Server) dispatch() {
+	if s.busy || len(s.queue) == 0 {
+		return
+	}
+	j := s.queue[0]
+	s.queue = s.queue[1:]
+	s.busy = true
+	s.busyEnd = s.eng.Now() + j.duration
+	s.busyTime += j.duration
+	if j.onStart != nil {
+		j.onStart()
+	}
+	s.eng.Schedule(j.duration, func() {
+		s.busy = false
+		s.served++
+		s.lastIdleAt = s.eng.Now()
+		if j.onDone != nil {
+			j.onDone()
+		}
+		s.dispatch()
+	})
+}

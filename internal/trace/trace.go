@@ -1,0 +1,171 @@
+// Package trace records simulation timelines: named spans on named lanes
+// (one lane per worker resource), exportable as a Chrome trace-event JSON
+// file or rendered as an ASCII Gantt chart.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Span is one timed operation on a lane.
+type Span struct {
+	// Lane groups spans on one timeline row, e.g. "worker0/gpu".
+	Lane string
+	// Name labels the span, e.g. "fp3" or "push L01[2/5]".
+	Name string
+	// Start and End are simulated times in seconds.
+	Start, End float64
+}
+
+// Duration returns End-Start.
+func (s Span) Duration() float64 { return s.End - s.Start }
+
+// Recorder accumulates spans. A nil *Recorder is valid and records nothing,
+// so callers can pass through an optional recorder without nil checks.
+type Recorder struct {
+	spans []Span
+}
+
+// New returns an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add records a span. Calling Add on a nil recorder is a no-op.
+func (r *Recorder) Add(lane, name string, start, end float64) {
+	if r == nil {
+		return
+	}
+	if end < start {
+		panic(fmt.Sprintf("trace: span %s/%s ends before it starts (%v > %v)", lane, name, start, end))
+	}
+	r.spans = append(r.spans, Span{Lane: lane, Name: name, Start: start, End: end})
+}
+
+// Len returns the number of recorded spans; 0 for a nil recorder.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.spans)
+}
+
+// Spans returns a copy of the recorded spans sorted by start time.
+func (r *Recorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	out := append([]Span(nil), r.spans...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].Lane < out[j].Lane
+	})
+	return out
+}
+
+// Lanes returns the distinct lane names in first-use order.
+func (r *Recorder) Lanes() []string {
+	if r == nil {
+		return nil
+	}
+	seen := make(map[string]bool)
+	var lanes []string
+	for _, s := range r.spans {
+		if !seen[s.Lane] {
+			seen[s.Lane] = true
+			lanes = append(lanes, s.Lane)
+		}
+	}
+	return lanes
+}
+
+// chromeEvent is the Chrome trace-event "complete" (ph=X) record.
+type chromeEvent struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`  // microseconds
+	Dur  float64 `json:"dur"` // microseconds
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// WriteChromeTrace writes the spans as a Chrome trace-event JSON array
+// (loadable in chrome://tracing or Perfetto). Lanes map to thread IDs.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	laneID := make(map[string]int)
+	for i, lane := range r.Lanes() {
+		laneID[lane] = i
+	}
+	events := make([]chromeEvent, 0, r.Len())
+	for _, s := range r.Spans() {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   s.Start * 1e6,
+			Dur:  s.Duration() * 1e6,
+			PID:  1,
+			TID:  laneID[s.Lane],
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}
+
+// Gantt renders an ASCII Gantt chart with the given total width in
+// characters. Each lane gets one row; spans are drawn as runs of '#' with
+// the first letter of their name where space allows.
+func (r *Recorder) Gantt(width int) string {
+	if r.Len() == 0 {
+		return "(empty trace)\n"
+	}
+	if width < 20 {
+		width = 20
+	}
+	var tmax float64
+	for _, s := range r.spans {
+		if s.End > tmax {
+			tmax = s.End
+		}
+	}
+	if tmax == 0 {
+		tmax = 1
+	}
+	lanes := r.Lanes()
+	nameWidth := 0
+	for _, l := range lanes {
+		if len(l) > nameWidth {
+			nameWidth = len(l)
+		}
+	}
+	var b strings.Builder
+	scale := float64(width) / tmax
+	for _, lane := range lanes {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range r.spans {
+			if s.Lane != lane {
+				continue
+			}
+			lo := int(s.Start * scale)
+			hi := int(s.End * scale)
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi && i < width; i++ {
+				row[i] = '#'
+			}
+			if lo < width && len(s.Name) > 0 {
+				row[lo] = s.Name[0]
+			}
+		}
+		fmt.Fprintf(&b, "%-*s |%s|\n", nameWidth, lane, row)
+	}
+	fmt.Fprintf(&b, "%-*s  0%*s%.4fs\n", nameWidth, "", width-5, "", tmax)
+	return b.String()
+}

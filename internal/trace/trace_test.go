@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Add("lane", "op", 0, 1)
+	if r.Len() != 0 || r.Spans() != nil || r.Lanes() != nil {
+		t.Fatal("nil recorder must be inert")
+	}
+}
+
+func TestAddAndSpans(t *testing.T) {
+	r := New()
+	r.Add("gpu", "b", 1, 2)
+	r.Add("net", "a", 0, 3)
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("Len = %d", len(spans))
+	}
+	if spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Fatalf("not sorted by start: %+v", spans)
+	}
+	if spans[0].Duration() != 3 {
+		t.Fatalf("Duration = %v", spans[0].Duration())
+	}
+	lanes := r.Lanes()
+	if len(lanes) != 2 || lanes[0] != "gpu" || lanes[1] != "net" {
+		t.Fatalf("Lanes = %v (first-use order)", lanes)
+	}
+}
+
+func TestAddBackwardsSpanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New().Add("l", "n", 2, 1)
+}
+
+func TestChromeTrace(t *testing.T) {
+	r := New()
+	r.Add("gpu", "fp0", 0, 0.001)
+	r.Add("net", "push", 0.001, 0.003)
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0]["ph"] != "X" {
+		t.Fatalf("ph = %v", events[0]["ph"])
+	}
+	if events[0]["dur"].(float64) != 1000 { // 1ms in µs
+		t.Fatalf("dur = %v", events[0]["dur"])
+	}
+}
+
+func TestGantt(t *testing.T) {
+	r := New()
+	r.Add("worker0/gpu", "fp", 0, 0.5)
+	r.Add("worker0/net", "push", 0.5, 1.0)
+	out := r.Gantt(40)
+	if !strings.Contains(out, "worker0/gpu") || !strings.Contains(out, "worker0/net") {
+		t.Fatalf("missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no bars drawn:\n%s", out)
+	}
+	if empty := New().Gantt(40); !strings.Contains(empty, "empty") {
+		t.Fatalf("empty trace rendering: %q", empty)
+	}
+}

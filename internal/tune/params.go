@@ -1,0 +1,59 @@
+package tune
+
+import "math"
+
+// The (partition, credit) search space in log2(bytes). The paper's best
+// values range from 3 MB (ResNet50 PS) to 171 MB (VGG16 NCCL credit), so
+// the box spans 64 KB to 512 MB.
+const (
+	minPartitionLog2 = 16 // 64 KB
+	maxPartitionLog2 = 27 // 128 MB
+	minCreditLog2    = 18 // 256 KB
+	maxCreditLog2    = 29 // 512 MB
+)
+
+// ParamBounds returns the standard 2-D search box over
+// (log2 partition bytes, log2 credit bytes). Searching in log space makes
+// the scale-free multiplicative structure of the problem (×2 partition ≈
+// constant effect) linear for the surrogate.
+func ParamBounds() Bounds {
+	return Bounds{
+		Lo: []float64{minPartitionLog2, minCreditLog2},
+		Hi: []float64{maxPartitionLog2, maxCreditLog2},
+	}
+}
+
+// ParamsFromVector decodes a search vector into byte sizes.
+func ParamsFromVector(x []float64) (partition, credit int64) {
+	return int64(math.Round(math.Exp2(x[0]))), int64(math.Round(math.Exp2(x[1])))
+}
+
+// VectorFromParams encodes byte sizes into a search vector.
+func VectorFromParams(partition, credit int64) []float64 {
+	return []float64{math.Log2(float64(partition)), math.Log2(float64(credit))}
+}
+
+// Result is a tuning outcome.
+type Result struct {
+	// Partition and Credit are the best sizes found, in bytes.
+	Partition, Credit int64
+	// Speed is the objective value at the best configuration.
+	Speed float64
+	// Trials is the number of objective evaluations used.
+	Trials int
+}
+
+// PartitionCredit runs the given tuner for up to trials evaluations of
+// objective(partition, credit) and returns the best configuration. This is
+// the paper's runtime auto-tuning loop: worker 0's Core profiles training
+// speed at proposed (δ, c) points and adopts the best.
+func PartitionCredit(t Tuner, objective func(partition, credit int64) float64, trials int) Result {
+	for i := 0; i < trials; i++ {
+		x := t.Next()
+		p, c := ParamsFromVector(x)
+		t.Observe(x, objective(p, c))
+	}
+	bs := t.Best()
+	p, c := ParamsFromVector(bs.X)
+	return Result{Partition: p, Credit: c, Speed: bs.Y, Trials: trials}
+}

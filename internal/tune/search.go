@@ -1,0 +1,218 @@
+package tune
+
+import (
+	"math"
+
+	"bytescheduler/internal/stats"
+)
+
+// RandomSearch evaluates uniformly random configurations.
+type RandomSearch struct {
+	bounds Bounds
+	rng    *stats.RNG
+	inc    best
+}
+
+// NewRandomSearch constructs the tuner; panics on invalid bounds.
+func NewRandomSearch(bounds Bounds, seed int64) *RandomSearch {
+	if err := bounds.Validate(); err != nil {
+		panic(err)
+	}
+	return &RandomSearch{bounds: bounds, rng: stats.NewRNG(seed), inc: newBest()}
+}
+
+// Name implements Tuner.
+func (r *RandomSearch) Name() string { return "random" }
+
+// Next implements Tuner.
+func (r *RandomSearch) Next() []float64 {
+	x := make([]float64, r.bounds.Dims())
+	for i := range x {
+		x[i] = r.bounds.Lo[i] + r.rng.Float64()*(r.bounds.Hi[i]-r.bounds.Lo[i])
+	}
+	return x
+}
+
+// Observe implements Tuner.
+func (r *RandomSearch) Observe(x []float64, y float64) { r.inc.observe(x, y) }
+
+// Best implements Tuner.
+func (r *RandomSearch) Best() Sample { return r.inc.sample }
+
+// GridSearch sweeps an even grid, one point per Next call, in row-major
+// order. After exhausting the grid it repeats the best row-major order scan
+// (further calls return the grid again), which in practice never happens —
+// the grid is the budget ceiling in the paper's comparison.
+type GridSearch struct {
+	bounds Bounds
+	steps  int
+	idx    int
+	inc    best
+}
+
+// NewGridSearch constructs a tuner evaluating steps points per dimension;
+// panics on invalid bounds or steps < 2.
+func NewGridSearch(bounds Bounds, steps int) *GridSearch {
+	if err := bounds.Validate(); err != nil {
+		panic(err)
+	}
+	if steps < 2 {
+		panic("tune: grid needs at least 2 steps per dimension")
+	}
+	return &GridSearch{bounds: bounds, steps: steps, inc: newBest()}
+}
+
+// Name implements Tuner.
+func (g *GridSearch) Name() string { return "grid" }
+
+// Points returns the total number of grid points.
+func (g *GridSearch) Points() int {
+	n := 1
+	for range g.bounds.Lo {
+		n *= g.steps
+	}
+	return n
+}
+
+// Next implements Tuner.
+func (g *GridSearch) Next() []float64 {
+	d := g.bounds.Dims()
+	x := make([]float64, d)
+	rem := g.idx % g.Points()
+	for i := d - 1; i >= 0; i-- {
+		step := rem % g.steps
+		rem /= g.steps
+		x[i] = g.bounds.Lo[i] + float64(step)/float64(g.steps-1)*(g.bounds.Hi[i]-g.bounds.Lo[i])
+	}
+	g.idx++
+	return x
+}
+
+// Observe implements Tuner.
+func (g *GridSearch) Observe(x []float64, y float64) { g.inc.observe(x, y) }
+
+// Best implements Tuner.
+func (g *GridSearch) Best() Sample { return g.inc.sample }
+
+// SGDMomentum climbs the objective with finite-difference gradients and
+// momentum, restarting from a random point when progress stalls — the
+// paper's strongest classic baseline (§4.3: "SGD with momentum may work when
+// the training speed has a trend of unimodality, but ... the derivatives
+// approximated by slope are noisy ... and SGD is easy to be stuck in a local
+// optimum").
+//
+// Each gradient step costs dims+1 evaluations (the probe points all count as
+// trials, as in Figure 14's search-cost accounting).
+type SGDMomentum struct {
+	bounds   Bounds
+	rng      *stats.RNG
+	lr       float64 // step size in normalized space
+	momentum float64
+	patience int
+
+	cur     []float64 // normalized current point
+	vel     []float64
+	curY    float64
+	haveCur bool
+	probing int       // which dimension is being probed (0..d-1), or -1 evaluating current
+	probe   []float64 // pending probe point (normalized)
+	grads   []float64
+	stall   int
+	inc     best
+}
+
+// NewSGDMomentum constructs the tuner; panics on invalid bounds.
+func NewSGDMomentum(bounds Bounds, seed int64) *SGDMomentum {
+	if err := bounds.Validate(); err != nil {
+		panic(err)
+	}
+	s := &SGDMomentum{
+		bounds:   bounds,
+		rng:      stats.NewRNG(seed),
+		lr:       0.15,
+		momentum: 0.8,
+		patience: 3,
+		probing:  -1,
+	}
+	s.inc = newBest()
+	s.restart()
+	return s
+}
+
+func (s *SGDMomentum) restart() {
+	d := s.bounds.Dims()
+	s.cur = make([]float64, d)
+	for i := range s.cur {
+		s.cur[i] = s.rng.Float64()
+	}
+	s.vel = make([]float64, d)
+	s.grads = make([]float64, d)
+	s.haveCur = false
+	s.probing = -1
+	s.stall = 0
+}
+
+// Name implements Tuner.
+func (s *SGDMomentum) Name() string { return "sgd-momentum" }
+
+// Best implements Tuner.
+func (s *SGDMomentum) Best() Sample { return s.inc.sample }
+
+const fdStep = 0.05 // finite-difference probe distance in normalized space
+
+// Next implements Tuner.
+func (s *SGDMomentum) Next() []float64 {
+	if !s.haveCur {
+		s.probing = -1
+		return s.bounds.denormalize(s.cur)
+	}
+	// Probe the next dimension.
+	u := append([]float64(nil), s.cur...)
+	dim := s.probing + 1
+	u[dim] = clamp01(u[dim] + fdStep)
+	s.probe = u
+	return s.bounds.denormalize(u)
+}
+
+// Observe implements Tuner.
+func (s *SGDMomentum) Observe(x []float64, y float64) {
+	s.inc.observe(x, y)
+	if !s.haveCur {
+		s.curY = y
+		s.haveCur = true
+		s.probing = -1
+		return
+	}
+	dim := s.probing + 1
+	s.grads[dim] = (y - s.curY) / fdStep
+	s.probing = dim
+	if s.probing < s.bounds.Dims()-1 {
+		return
+	}
+	// All dimensions probed: take a momentum step.
+	improvedBefore := s.inc.sample.Y
+	for i := range s.cur {
+		s.vel[i] = s.momentum*s.vel[i] + s.lr*sign(s.grads[i])*math.Min(math.Abs(s.grads[i])/(math.Abs(s.curY)+1e-12), 1)
+		s.cur[i] = clamp01(s.cur[i] + s.vel[i])
+	}
+	s.probing = -1
+	s.haveCur = false
+	if s.inc.sample.Y <= improvedBefore {
+		s.stall++
+		if s.stall >= s.patience {
+			s.restart()
+		}
+	} else {
+		s.stall = 0
+	}
+}
+
+func sign(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,123 @@
+// Package tune implements the paper's auto-tuning of partition size and
+// credit size (§4.3): Bayesian Optimization with a Gaussian-process
+// surrogate and the Expected Improvement acquisition function, plus the
+// three classic baselines it is evaluated against in Figure 14 — grid
+// search, random search, and SGD with momentum (with restarts).
+//
+// Tuners maximize an unknown noisy objective (training speed) over a box.
+// All tuners implement the same propose/observe interface so the search-cost
+// comparison treats them uniformly.
+package tune
+
+import (
+	"fmt"
+	"math"
+)
+
+// Bounds is an axis-aligned search box.
+type Bounds struct {
+	// Lo and Hi are inclusive per-dimension limits; equal lengths, Lo < Hi.
+	Lo, Hi []float64
+}
+
+// Dims returns the dimensionality.
+func (b Bounds) Dims() int { return len(b.Lo) }
+
+// Validate reports malformed bounds.
+func (b Bounds) Validate() error {
+	if len(b.Lo) == 0 || len(b.Lo) != len(b.Hi) {
+		return fmt.Errorf("tune: bounds dims %d/%d", len(b.Lo), len(b.Hi))
+	}
+	for i := range b.Lo {
+		if !(b.Lo[i] < b.Hi[i]) {
+			return fmt.Errorf("tune: bounds dim %d: lo %v !< hi %v", i, b.Lo[i], b.Hi[i])
+		}
+	}
+	return nil
+}
+
+// Clamp projects x into the box, in place.
+func (b Bounds) Clamp(x []float64) {
+	for i := range x {
+		x[i] = math.Min(math.Max(x[i], b.Lo[i]), b.Hi[i])
+	}
+}
+
+// normalize maps x into [0,1]^d.
+func (b Bounds) normalize(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = (x[i] - b.Lo[i]) / (b.Hi[i] - b.Lo[i])
+	}
+	return out
+}
+
+// denormalize maps u in [0,1]^d back to the box.
+func (b Bounds) denormalize(u []float64) []float64 {
+	out := make([]float64, len(u))
+	for i := range u {
+		out[i] = b.Lo[i] + u[i]*(b.Hi[i]-b.Lo[i])
+	}
+	return out
+}
+
+// Sample is one evaluated configuration.
+type Sample struct {
+	X []float64
+	Y float64
+}
+
+// Tuner proposes configurations and learns from observations. Objective
+// values are maximized.
+type Tuner interface {
+	// Name identifies the algorithm, e.g. "bo".
+	Name() string
+	// Next proposes the next configuration to evaluate.
+	Next() []float64
+	// Observe records the objective value for a configuration returned by
+	// Next.
+	Observe(x []float64, y float64)
+	// Best returns the best observation so far; Y is -Inf before any
+	// observation.
+	Best() Sample
+}
+
+// best tracks the incumbent.
+type best struct {
+	sample Sample
+}
+
+func newBest() best {
+	return best{sample: Sample{Y: math.Inf(-1)}}
+}
+
+func (b *best) observe(x []float64, y float64) {
+	if y > b.sample.Y {
+		b.sample = Sample{X: append([]float64(nil), x...), Y: y}
+	}
+}
+
+// Run drives a tuner against an objective for n trials and returns the best
+// sample found.
+func Run(t Tuner, objective func([]float64) float64, n int) Sample {
+	for i := 0; i < n; i++ {
+		x := t.Next()
+		t.Observe(x, objective(x))
+	}
+	return t.Best()
+}
+
+// TrialsToReach drives a tuner until its best observation reaches target (a
+// value, typically optimum*(1-tol)) or maxTrials is exhausted, and returns
+// the number of trials used. The boolean reports whether the target was
+// reached.
+func TrialsToReach(t Tuner, objective func([]float64) float64, target float64, maxTrials int) (int, bool) {
+	for i := 1; i <= maxTrials; i++ {
+		x := t.Next()
+		t.Observe(x, objective(x))
+		if t.Best().Y >= target {
+			return i, true
+		}
+	}
+	return maxTrials, false
+}

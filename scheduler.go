@@ -1,0 +1,127 @@
+package bytescheduler
+
+import (
+	"bytescheduler/internal/core"
+	"bytescheduler/internal/tensor"
+)
+
+// SubTask is one partition of a scheduled tensor: the byte range
+// [Offset, Offset+Bytes) of the parent, partition Index of Count.
+type SubTask struct {
+	// Layer and TensorName identify the parent tensor.
+	Layer      int
+	TensorName string
+	// Index / Count locate the partition within the parent.
+	Index, Count int
+	// Offset and Bytes delimit the partition within the parent buffer.
+	Offset, Bytes int64
+}
+
+// CommTask is the unified communication abstraction: one tensor to be
+// synchronized (pushed+pulled, or all-reduced — the Start function decides).
+type CommTask struct {
+	// Layer is the 0-based DNN layer index from the input; it determines
+	// priority under the ByteScheduler policy.
+	Layer int
+	// Name identifies the tensor within the layer.
+	Name string
+	// Bytes is the tensor size.
+	Bytes int64
+	// Start launches one partition on the underlying communication stack.
+	// It may block; it runs on its own goroutine. done must be called
+	// exactly once when the partition's communication has completed.
+	Start func(sub SubTask, done func())
+	// OnFinished, if non-nil, fires once when every partition has
+	// completed.
+	OnFinished func()
+
+	inner *core.Task
+}
+
+// Scheduler is the live, goroutine-safe ByteScheduler Core for embedding in
+// real communication stacks: wrap each tensor as a CommTask, Enqueue it
+// when the framework posts the communication operation, and NotifyReady
+// when the tensor's data is available. The scheduler partitions tasks and
+// releases partitions to Start in priority order under credit-based
+// preemption.
+type Scheduler struct {
+	async *core.AsyncScheduler
+}
+
+// NewScheduler returns a live scheduler for the given policy.
+func NewScheduler(p Policy) *Scheduler {
+	return &Scheduler{async: core.NewAsync(p.p)}
+}
+
+// Enqueue registers a CommTask (the framework has posted the communication
+// operation; the tensor may not be computed yet).
+func (s *Scheduler) Enqueue(t *CommTask) error {
+	if t.inner != nil {
+		return errEnqueuedTwice(t.Name)
+	}
+	inner := &core.Task{
+		Tensor:     tensor.Tensor{Layer: t.Layer, Name: t.Name, Bytes: t.Bytes},
+		OnFinished: t.OnFinished,
+	}
+	start := t.Start
+	inner.Start = func(sub tensor.Sub, done func()) {
+		start(SubTask{
+			Layer:      sub.Parent.Layer,
+			TensorName: sub.Parent.Name,
+			Index:      sub.Index,
+			Count:      sub.Count,
+			Offset:     sub.Offset,
+			Bytes:      sub.Bytes,
+		}, done)
+	}
+	if err := s.async.Enqueue(inner); err != nil {
+		return err
+	}
+	t.inner = inner
+	return nil
+}
+
+// NotifyReady marks the task's tensor as computed and eligible for
+// transmission.
+func (s *Scheduler) NotifyReady(t *CommTask) error {
+	if t.inner == nil {
+		return errNotEnqueued(t.Name)
+	}
+	return s.async.NotifyReady(t.inner)
+}
+
+// Drained reports whether nothing is queued or in flight.
+func (s *Scheduler) Drained() bool { return s.async.Drained() }
+
+// Shutdown stops accepting work and waits for in-flight transmissions.
+func (s *Scheduler) Shutdown() { s.async.Shutdown() }
+
+// SchedulerStats are live scheduler counters.
+type SchedulerStats struct {
+	// TasksEnqueued, SubsStarted, SubsFinished, Preemptions mirror the
+	// core counters; see the package documentation.
+	TasksEnqueued, SubsStarted, SubsFinished, Preemptions uint64
+}
+
+// Stats snapshots the counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	st := s.async.Stats()
+	return SchedulerStats{
+		TasksEnqueued: st.TasksEnqueued,
+		SubsStarted:   st.SubsStarted,
+		SubsFinished:  st.SubsFinished,
+		Preemptions:   st.Preemptions,
+	}
+}
+
+type taskError struct {
+	name string
+	what string
+}
+
+func (e taskError) Error() string {
+	return "bytescheduler: task " + e.name + " " + e.what
+}
+
+func errEnqueuedTwice(name string) error { return taskError{name, "enqueued twice"} }
+func errNotEnqueued(name string) error   { return taskError{name, "not enqueued"} }
