@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race verify bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the CI gate: everything must build, pass vet, and pass the full
+# test suite with the race detector on.
+verify: build vet race
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .

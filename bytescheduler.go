@@ -132,8 +132,63 @@ func WithPartitionCredit(partition, credit int64) Policy {
 	return Policy{p: core.ByteScheduler(partition, credit), scheduled: true}
 }
 
+// WithMaxRetries returns a copy of the policy whose scheduler requeues each
+// failed partition up to n times before declaring the task failed. Only
+// meaningful for live schedulers whose CommTasks use StartErr.
+func (p Policy) WithMaxRetries(n int) Policy {
+	p.p = p.p.WithMaxRetries(n)
+	return p
+}
+
 // Name returns the policy name, e.g. "bytescheduler".
 func (p Policy) Name() string { return p.p.Name }
+
+// FaultInjection describes deterministic fabric degradation applied to a
+// simulated run: frame drops paid for with retransmission timeouts, latency
+// spikes, and transient link outages. Faults surface as time, never loss —
+// the fabric keeps its reliable in-order delivery contract, exactly as a
+// retransmitting transport presents failures to the application. Supported
+// on the PS fabric only (the collective substrate is analytic).
+type FaultInjection struct {
+	// Seed drives all fault draws; the same seed reproduces the same run.
+	Seed int64
+	// DropProb is the per-transmission frame-loss probability; each loss
+	// adds RetransmitDelay (default: a TCP minimum RTO) to the message.
+	DropProb        float64
+	RetransmitDelay float64
+	// SpikeProb and SpikeSec inject latency spikes (incast, GC pauses).
+	SpikeProb float64
+	SpikeSec  float64
+	// Outages are transient windows during which a node's links carry no
+	// new messages. PS fabric nodes are [0, machines) for workers and
+	// [machines, 2*machines) for server shards.
+	Outages []LinkOutage
+}
+
+// LinkOutage is one transient link failure at a fabric node.
+type LinkOutage struct {
+	Node            int
+	Start, Duration float64
+}
+
+func (fi *FaultInjection) config() *network.FaultConfig {
+	if fi == nil {
+		return nil
+	}
+	fc := &network.FaultConfig{
+		Seed:            fi.Seed,
+		DropProb:        fi.DropProb,
+		RetransmitDelay: fi.RetransmitDelay,
+		SpikeProb:       fi.SpikeProb,
+		SpikeSec:        fi.SpikeSec,
+	}
+	for _, o := range fi.Outages {
+		fc.Outages = append(fc.Outages, network.Outage{
+			Node: o.Node, Start: o.Start, Duration: o.Duration,
+		})
+	}
+	return fc
+}
 
 // Experiment describes one simulated training configuration.
 type Experiment struct {
@@ -165,6 +220,9 @@ type Experiment struct {
 	// Jitter adds relative compute noise (e.g. 0.02); Seed seeds it.
 	Jitter float64
 	Seed   int64
+	// Faults, if non-nil, degrades the fabric deterministically (PS only);
+	// see FaultInjection.
+	Faults *FaultInjection
 }
 
 // Measurement is the outcome of one experiment.
@@ -179,6 +237,9 @@ type Measurement struct {
 	LoadImbalance float64
 	// Preemptions counts priority preemptions performed by the scheduler.
 	Preemptions uint64
+	// Retransmits, Spikes and OutageDeferred count injected fabric faults
+	// (all zero when Experiment.Faults is nil).
+	Retransmits, Spikes, OutageDeferred uint64
 }
 
 func parseCompression(spec string) (*compress.Compressor, error) {
@@ -237,6 +298,7 @@ func (e Experiment) runnerConfig() (runner.Config, error) {
 		Warmup:        e.Warmup,
 		Jitter:        e.Jitter,
 		Seed:          e.Seed,
+		Faults:        e.Faults.config(),
 	}, nil
 }
 
@@ -251,11 +313,14 @@ func Run(e Experiment) (Measurement, error) {
 		return Measurement{}, err
 	}
 	return Measurement{
-		SamplesPerSec: res.SamplesPerSec,
-		SampleUnit:    cfg.Model.SampleUnit,
-		IterTime:      res.IterTime,
-		LoadImbalance: res.LoadImbalance,
-		Preemptions:   res.UpStats.Preemptions + res.DownStats.Preemptions,
+		SamplesPerSec:  res.SamplesPerSec,
+		SampleUnit:     cfg.Model.SampleUnit,
+		IterTime:       res.IterTime,
+		LoadImbalance:  res.LoadImbalance,
+		Preemptions:    res.UpStats.Preemptions + res.DownStats.Preemptions,
+		Retransmits:    res.Faults.Retransmits,
+		Spikes:         res.Faults.Spikes,
+		OutageDeferred: res.Faults.OutageDeferred,
 	}, nil
 }
 

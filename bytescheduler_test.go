@@ -1,6 +1,7 @@
 package bytescheduler_test
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -218,6 +219,89 @@ func TestLiveScheduler(t *testing.T) {
 	}
 	if !s.Drained() {
 		t.Fatal("not drained")
+	}
+}
+
+func TestLiveSchedulerRetries(t *testing.T) {
+	s := bs.NewScheduler(bs.WithPartitionCredit(1<<20, 4<<20).WithMaxRetries(3))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var failed atomic.Int64
+	task := &bs.CommTask{
+		Layer: 0,
+		Name:  "weight",
+		Bytes: 4 << 20,
+		StartErr: func(sub bs.SubTask, done func(error)) {
+			// Each partition fails once, then succeeds on retry.
+			if sub.Index == int(failed.Load()) && failed.Add(1) > 0 {
+				done(errFlaky)
+				return
+			}
+			done(nil)
+		},
+		OnFinished: func() { wg.Done() },
+	}
+	if err := s.Enqueue(task); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.NotifyReady(task); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	s.Shutdown()
+	if err := task.Err(); err != nil {
+		t.Fatalf("task failed despite retry budget: %v", err)
+	}
+	st := s.Stats()
+	if st.Retries == 0 || st.Failures != 0 {
+		t.Fatalf("stats = %+v, want retries > 0 and no failures", st)
+	}
+	if st.SubsStarted != st.SubsFinished+st.Retries {
+		t.Fatalf("counter invariant violated: %+v", st)
+	}
+}
+
+var errFlaky = errors.New("transient fault")
+
+func TestLiveSchedulerBothStartsRejected(t *testing.T) {
+	s := bs.NewScheduler(bs.Vanilla())
+	defer s.Shutdown()
+	err := s.Enqueue(&bs.CommTask{
+		Name:     "x",
+		Bytes:    1,
+		Start:    func(bs.SubTask, func()) {},
+		StartErr: func(bs.SubTask, func(error)) {},
+	})
+	if err == nil {
+		t.Fatal("task with both Start and StartErr accepted")
+	}
+}
+
+func TestRunWithFaults(t *testing.T) {
+	e := vggExperiment(bs.Vanilla())
+	e.Transport = bs.TCP
+	e.BandwidthGbps = 25
+	e.Iterations = 6
+	clean, err := bs.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Faults = &bs.FaultInjection{Seed: 5, DropProb: 0.02, RetransmitDelay: 2e-3}
+	faulty, err := bs.Run(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Retransmits == 0 {
+		t.Fatal("no retransmits recorded")
+	}
+	if faulty.SamplesPerSec >= clean.SamplesPerSec {
+		t.Fatalf("faults did not slow the run: %.0f >= %.0f",
+			faulty.SamplesPerSec, clean.SamplesPerSec)
+	}
+	// Faults are PS-only.
+	e.Arch = bs.AllReduce
+	if _, err := bs.Run(e); err == nil {
+		t.Fatal("fault injection on all-reduce accepted")
 	}
 }
 

@@ -2,9 +2,8 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"sync"
-
-	"bytescheduler/internal/tensor"
 )
 
 // ErrShutdown is returned by AsyncScheduler methods after Shutdown.
@@ -16,47 +15,73 @@ var ErrShutdown = errors.New("core: scheduler shut down")
 // return credit concurrently.
 //
 // All policy semantics are identical to Scheduler: AsyncScheduler contains
-// one and delegates every decision to it.
+// one and delegates every decision to it. Each partition's Start runs on
+// its own goroutine (substrates may block); completions re-enter the
+// scheduler under the mutex. The caller's Task struct is never mutated
+// beyond the scheduler-owned bookkeeping, so a Task rejected here (or
+// failed and rebuilt) can be enqueued again without double-wrapping its
+// Start function.
 type AsyncScheduler struct {
 	mu   sync.Mutex
+	idle *sync.Cond // signaled whenever active or in-flight work shrinks
 	s    *Scheduler
 	down bool
-	wg   sync.WaitGroup
+	// active counts substrate goroutines whose Start call has not yet
+	// returned. A plain WaitGroup cannot express the shutdown barrier: a
+	// late done callback re-enters the scheduler and spawns further starts,
+	// which would race Add against Wait. The counter lives under mu —
+	// spawn is only ever invoked with mu held — so Shutdown's wait
+	// condition is evaluated atomically with every transition.
+	active int
 }
 
 // NewAsync returns a concurrent scheduler for the given policy.
 func NewAsync(policy Policy) *AsyncScheduler {
-	return &AsyncScheduler{s: New(policy)}
+	a := &AsyncScheduler{s: New(policy)}
+	a.idle = sync.NewCond(&a.mu)
+	// Substrate calls run outside the lock on their own goroutines;
+	// completion callbacks re-enter scheduler state under the lock.
+	a.s.spawn = func(f func()) {
+		a.active++ // mu is held by the caller (Enqueue/NotifyReady/guard)
+		go func() {
+			f()
+			a.mu.Lock()
+			a.active--
+			a.idle.Broadcast()
+			a.mu.Unlock()
+		}()
+	}
+	a.s.guard = func(f func()) {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		f()
+		a.idle.Broadcast()
+	}
+	return a
 }
 
 // Policy returns the scheduler policy.
 func (a *AsyncScheduler) Policy() Policy { return a.s.policy }
 
-// Enqueue registers a CommTask. The task's Start function will be invoked
-// with the scheduler lock held released — substrates may block or call done
-// from any goroutine.
+// Enqueue registers a CommTask. The task's Start (or StartErr) function
+// will be invoked without the scheduler lock held — substrates may block or
+// call done from any goroutine. Misuse that panics on the synchronous
+// Scheduler (missing Start, double enqueue) is returned as an error here:
+// a live deployment wants a rejected task, not a crashed trainer.
 func (a *AsyncScheduler) Enqueue(t *Task) error {
-	if t == nil || t.Start == nil {
+	if t == nil {
 		return errors.New("core: task must have a Start function")
+	}
+	if _, err := t.normalizedStart(); err != nil {
+		return err
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.down {
 		return ErrShutdown
 	}
-	// Wrap Start so the substrate runs outside the lock and done re-enters
-	// safely.
-	inner := t.Start
-	t.Start = func(sub tensor.Sub, done func()) {
-		a.wg.Add(1)
-		go func() {
-			defer a.wg.Done()
-			inner(sub, func() {
-				a.mu.Lock()
-				defer a.mu.Unlock()
-				done()
-			})
-		}()
+	if t.enqueued {
+		return fmt.Errorf("core: task %s enqueued twice", t.Tensor)
 	}
 	a.s.Enqueue(t)
 	return nil
@@ -68,6 +93,12 @@ func (a *AsyncScheduler) NotifyReady(t *Task) error {
 	defer a.mu.Unlock()
 	if a.down {
 		return ErrShutdown
+	}
+	if !t.enqueued {
+		return fmt.Errorf("core: NotifyReady before Enqueue for %s", t.Tensor)
+	}
+	if t.ready {
+		return fmt.Errorf("core: task %s ready twice", t.Tensor)
 	}
 	a.s.NotifyReady(t)
 	return nil
@@ -88,10 +119,15 @@ func (a *AsyncScheduler) Drained() bool {
 }
 
 // Shutdown stops accepting work and waits for in-flight transmissions to
-// complete.
+// complete (including their completion callbacks, successful or failed).
+// Unlike a bare goroutine join, it also waits out done callbacks that
+// arrive after the substrate's Start call has already returned, so credit
+// accounting is quiescent when it returns.
 func (a *AsyncScheduler) Shutdown() {
 	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.down = true
-	a.mu.Unlock()
-	a.wg.Wait()
+	for a.active > 0 || a.s.InFlight() > 0 {
+		a.idle.Wait()
+	}
 }

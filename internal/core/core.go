@@ -52,6 +52,12 @@ type Policy struct {
 	// layers" extension. Returning 0 disables partitioning for that
 	// tensor.
 	PartitionFn func(t tensor.Tensor) int64
+	// MaxRetries is the per-partition retry budget: how many times a
+	// SubCommTask whose Start reported failure (via StartErr) is requeued
+	// before it is declared permanently failed. Each failure returns the
+	// partition's credit immediately, so one dead substrate cannot strand
+	// the sliding window. 0 (the default) fails fast on the first error.
+	MaxRetries int
 }
 
 // Validate reports configuration errors.
@@ -62,7 +68,17 @@ func (p Policy) Validate() error {
 	if p.CreditBytes < 0 {
 		return fmt.Errorf("core: negative credit %d", p.CreditBytes)
 	}
+	if p.MaxRetries < 0 {
+		return fmt.Errorf("core: negative retry budget %d", p.MaxRetries)
+	}
 	return nil
+}
+
+// WithMaxRetries returns a copy of the policy with the given per-partition
+// retry budget.
+func (p Policy) WithMaxRetries(n int) Policy {
+	p.MaxRetries = n
+	return p
 }
 
 // FIFO returns the baseline policy of vanilla frameworks: no partitioning,
@@ -110,33 +126,71 @@ func ByteScheduler(partitionUnit, creditBytes int64) Policy {
 // communication has finished and credit may be returned (notify_finish).
 type StartFn func(sub tensor.Sub, done func())
 
+// StartErrFn is the failure-aware variant of StartFn: the substrate reports
+// the outcome through done. done(nil) is notify_finish; done(err) returns
+// the partition's credit immediately and the scheduler requeues the
+// partition until the policy's retry budget is exhausted.
+type StartErrFn func(sub tensor.Sub, done func(error))
+
 // Task is a CommTask: the unified abstraction for one tensor's
 // communication.
 type Task struct {
 	// Tensor is the communication payload.
 	Tensor tensor.Tensor
-	// Start launches one partition. Required.
+	// Start launches one partition. Exactly one of Start and StartErr is
+	// required.
 	Start StartFn
+	// StartErr launches one partition and may report failure; it takes
+	// precedence for substrates that can fail (e.g. real sockets).
+	StartErr StartErrFn
 	// OnFinished, if non-nil, fires once when every partition of the task
-	// has completed.
+	// has resolved — completed or permanently failed. Check Err to tell
+	// the two apart.
 	OnFinished func()
 
 	subs      []tensor.Sub
 	remaining int
 	enqueued  bool
 	ready     bool
+	start     StartErrFn // normalized at Enqueue; never the caller's field
+	err       error      // first permanent partition failure
 }
 
 // Subs returns the task's partitions; valid after Enqueue.
 func (t *Task) Subs() []tensor.Sub { return t.subs }
 
+// Err returns the first permanent partition failure, or nil if every
+// resolved partition succeeded. Stable once OnFinished has fired.
+func (t *Task) Err() error { return t.err }
+
+// normalizedStart resolves the task's start function without mutating the
+// caller-visible fields (a task re-submitted after an error must not see a
+// double-wrapped Start).
+func (t *Task) normalizedStart() (StartErrFn, error) {
+	switch {
+	case t == nil:
+		return nil, fmt.Errorf("core: nil task")
+	case t.Start != nil && t.StartErr != nil:
+		return nil, fmt.Errorf("core: task %s has both Start and StartErr", t.Tensor)
+	case t.StartErr != nil:
+		return t.StartErr, nil
+	case t.Start != nil:
+		orig := t.Start
+		return func(sub tensor.Sub, done func(error)) {
+			orig(sub, func() { done(nil) })
+		}, nil
+	}
+	return nil, fmt.Errorf("core: task must have a Start function")
+}
+
 type queueItem struct {
-	sub     tensor.Sub
-	task    *Task
-	prio    int64
-	seq     uint64
-	idx     int
-	started bool
+	sub      tensor.Sub
+	task     *Task
+	prio     int64
+	seq      uint64
+	idx      int
+	started  bool
+	attempts int // failed attempts so far
 }
 
 type priorityQueue []*queueItem
@@ -187,6 +241,12 @@ type Stats struct {
 	MaxQueueLen int
 	// MaxInflightBytes is the high-water mark of in-flight bytes.
 	MaxInflightBytes int64
+	// Retries counts partitions requeued after a reported failure; every
+	// retry returned the partition's credit first, so the invariant
+	// SubsStarted == SubsFinished + Failures + Retries holds at quiescence.
+	Retries uint64
+	// Failures counts partitions that exhausted the retry budget.
+	Failures uint64
 }
 
 // Scheduler implements Algorithm 1.
@@ -204,6 +264,13 @@ type Scheduler struct {
 	inflightBytes int64
 	stats         Stats
 	scheduling    bool
+
+	// spawn, when non-nil, runs a partition's Start call (AsyncScheduler
+	// installs a goroutine launcher; the simulator runs inline).
+	spawn func(f func())
+	// guard, when non-nil, serializes completion callbacks re-entering
+	// scheduler state (AsyncScheduler installs its mutex).
+	guard func(f func())
 }
 
 // seqQueue is a min-heap of queueItems by arrival seq.
@@ -260,13 +327,16 @@ func (s *Scheduler) CreditAvailable() int64 {
 // most frameworks post communication operations before the tensor is
 // computed.
 func (s *Scheduler) Enqueue(t *Task) {
-	if t == nil || t.Start == nil {
-		panic("core: task must have a Start function")
+	start, err := t.normalizedStart()
+	if err != nil {
+		panic(err.Error())
 	}
 	if t.enqueued {
 		panic(fmt.Sprintf("core: task %s enqueued twice", t.Tensor))
 	}
 	t.enqueued = true
+	t.start = start
+	t.err = nil
 	unit := s.policy.PartitionUnit
 	if s.policy.PartitionFn != nil {
 		unit = s.policy.PartitionFn(t.Tensor)
@@ -379,7 +449,7 @@ func (s *Scheduler) start(it *queueItem) {
 	task := it.task
 	sub := it.sub
 	finished := false
-	task.Start(sub, func() {
+	complete := func(err error) {
 		if finished {
 			panic(fmt.Sprintf("core: done called twice for %s", sub))
 		}
@@ -389,11 +459,60 @@ func (s *Scheduler) start(it *queueItem) {
 		}
 		s.inflight--
 		s.inflightBytes -= sub.Bytes
+		if err != nil {
+			s.fail(it, err)
+			s.schedule()
+			return
+		}
 		s.stats.SubsFinished++
 		task.remaining--
 		if task.remaining == 0 && task.OnFinished != nil {
 			task.OnFinished()
 		}
 		s.schedule()
-	})
+	}
+	done := complete
+	if s.guard != nil {
+		inner := complete
+		done = func(err error) { s.guard(func() { inner(err) }) }
+	}
+	call := func() { task.start(sub, done) }
+	if s.spawn != nil {
+		s.spawn(call)
+	} else {
+		call()
+	}
+}
+
+// fail handles a partition whose Start reported an error: credit has
+// already been returned by the caller; the partition is requeued while the
+// retry budget lasts, then declared permanently failed. A permanently
+// failed partition still resolves the task (OnFinished fires, Err is set)
+// so waiters never hang on a dead substrate.
+func (s *Scheduler) fail(it *queueItem, err error) {
+	task := it.task
+	if it.attempts < s.policy.MaxRetries {
+		it.attempts++
+		s.stats.Retries++
+		s.seq++
+		prio := int64(s.seq)
+		if s.policy.Priority != nil {
+			prio = s.policy.Priority(task.Tensor, s.seq)
+		}
+		re := &queueItem{sub: it.sub, task: task, prio: prio, seq: s.seq, attempts: it.attempts}
+		heap.Push(&s.queue, re)
+		heap.Push(&s.arrivals, re)
+		if len(s.queue) > s.stats.MaxQueueLen {
+			s.stats.MaxQueueLen = len(s.queue)
+		}
+		return
+	}
+	s.stats.Failures++
+	if task.err == nil {
+		task.err = err
+	}
+	task.remaining--
+	if task.remaining == 0 && task.OnFinished != nil {
+		task.OnFinished()
+	}
 }

@@ -124,6 +124,7 @@ func All() []Experiment {
 		{"EXT-COSCHED", ExtCoScheduling, "two jobs sharing one fabric (§7)"},
 		{"EXT-COMPRESS", ExtCompression, "gradient compression x scheduling (§8)"},
 		{"EXT-ZOO", ExtZooModels, "extended model zoo (BERT, GNMT, Inception-v3)"},
+		{"EXT-FAULTS", ExtFaultTolerance, "fault injection: drops, outage, latency spikes (robustness)"},
 		{"THM1", ThmOptimality, "Theorem 1 optimality and the §4.1 overhead bound"},
 	}
 }

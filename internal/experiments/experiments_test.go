@@ -176,6 +176,30 @@ func TestExtensionsShape(t *testing.T) {
 	}
 }
 
+func TestFaultToleranceShape(t *testing.T) {
+	tab := runExp(t, ExtFaultTolerance)
+	if tab.Metrics["clean_gain_pct"] <= 0 {
+		t.Fatalf("clean ByteScheduler gain %.1f%%, want positive", tab.Metrics["clean_gain_pct"])
+	}
+	// The robustness claim: scheduling's edge survives every fault scenario.
+	if tab.Metrics["min_gain_pct"] <= 0 {
+		t.Fatalf("ByteScheduler lost its edge under faults: min gain %.1f%%",
+			tab.Metrics["min_gain_pct"])
+	}
+	// Faults must actually degrade something, or the scenarios are inert.
+	if tab.Metrics["worst_bs_degradation_pct"] <= 0 {
+		t.Fatalf("fault scenarios caused no degradation: %.2f%%",
+			tab.Metrics["worst_bs_degradation_pct"])
+	}
+	if tab.Metrics["worst_bs_degradation_pct"] >= 95 {
+		t.Fatalf("fault scenarios nearly stopped the run: %.1f%% degradation",
+			tab.Metrics["worst_bs_degradation_pct"])
+	}
+	if len(tab.Rows) != 6 { // clean + 5 fault scenarios
+		t.Fatalf("rows = %d, want 6", len(tab.Rows))
+	}
+}
+
 func TestTheoremShape(t *testing.T) {
 	tab := runExp(t, ThmOptimality)
 	if tab.Metrics["best_alternative_advantage_ms"] > 0.01 {

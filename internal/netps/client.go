@@ -4,38 +4,150 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"bytescheduler/internal/stats"
 )
+
+// Default client hardening knobs; override with Options.
+const (
+	// DefaultTimeout bounds each write and each push-response read.
+	DefaultTimeout = 15 * time.Second
+	// DefaultRetries is the per-request transport retry budget.
+	DefaultRetries = 3
+	// DefaultBackoffBase is the first retry delay; it doubles per attempt.
+	DefaultBackoffBase = 5 * time.Millisecond
+	// DefaultBackoffMax caps the exponential backoff.
+	DefaultBackoffMax = 500 * time.Millisecond
+	// backoffJitterFrac is the deterministic multiplicative jitter applied
+	// to every backoff delay, decorrelating worker retry storms.
+	backoffJitterFrac = 0.25
+)
+
+// clientIDs hands out process-unique client identities for request Seq
+// generation (the high 32 bits of every Seq). Multi-process deployments
+// should override with WithClientID using the worker rank.
+var clientIDs atomic.Uint32
+
+// ServerError is an application-level rejection from the server (OpErr
+// response): the transport worked, the request was refused. It is not
+// retried at the transport layer; the scheduler's sub-task retry budget
+// decides what happens next.
+type ServerError struct{ Msg string }
+
+// Error implements error.
+func (e *ServerError) Error() string { return "netps: server: " + e.Msg }
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithTimeout sets the per-request I/O deadline: every frame write, and
+// the response read of a push. Zero disables deadlines.
+func WithTimeout(d time.Duration) Option { return func(c *Client) { c.timeout = d } }
+
+// WithPullTimeout bounds how long a pull may wait for aggregation. The
+// default 0 waits forever — a pull legitimately blocks until every worker
+// has pushed, and a closing server now fails waiters instead of leaking
+// them, so a deadline is only needed to bound tail latency.
+func WithPullTimeout(d time.Duration) Option { return func(c *Client) { c.pullTimeout = d } }
+
+// WithRetries sets the transport retry budget per request (dial failures,
+// timeouts, broken connections). 0 fails fast.
+func WithRetries(n int) Option { return func(c *Client) { c.maxRetries = n } }
+
+// WithBackoff sets the exponential backoff base and cap between transport
+// retries.
+func WithBackoff(base, max time.Duration) Option {
+	return func(c *Client) { c.backoffBase, c.backoffMax = base, max }
+}
+
+// WithSeed seeds the deterministic backoff jitter (reproducible tests).
+func WithSeed(seed int64) Option { return func(c *Client) { c.rng = stats.NewRNG(seed) } }
+
+// WithClientID overrides the client identity used in request sequence
+// numbers. Distinct workers must use distinct IDs so the server's replay
+// deduplication never conflates two workers' pushes.
+func WithClientID(id uint32) Option { return func(c *Client) { c.id = id } }
 
 // Client is one worker's connection pool to a PS shard. Each in-flight
 // request uses its own connection (the scheduler above bounds concurrency
 // via credit), so pulls blocked on aggregation never head-of-line block
 // pushes.
+//
+// The client is failure-hardened: per-request deadlines, bounded retry
+// with exponential backoff and deterministic jitter, and redial-on-stale
+// pooled connections (a server may close a pooled connection while it sits
+// idle; the first reuse then fails instantly and is replayed on a fresh
+// dial without consuming retry budget). Requests carry sequence numbers
+// that are stable across retries so the server can deduplicate replayed
+// pushes.
 type Client struct {
-	addr string
+	addr        string
+	timeout     time.Duration
+	pullTimeout time.Duration
+	maxRetries  int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	id          uint32
+	seq         atomic.Uint32
 
 	mu     sync.Mutex
+	rng    *stats.RNG
 	idle   []net.Conn
 	closed bool
 }
 
 // NewClient creates a client for the shard at addr.
-func NewClient(addr string) *Client {
-	return &Client{addr: addr}
+func NewClient(addr string, opts ...Option) *Client {
+	c := &Client{
+		addr:        addr,
+		timeout:     DefaultTimeout,
+		maxRetries:  DefaultRetries,
+		backoffBase: DefaultBackoffBase,
+		backoffMax:  DefaultBackoffMax,
+		id:          clientIDs.Add(1),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	if c.rng == nil {
+		// Deterministic per-client default; distinct per client so worker
+		// retry storms decorrelate even without explicit seeding.
+		c.rng = stats.NewRNG(int64(c.id))
+	}
+	return c
 }
 
-func (c *Client) conn() (net.Conn, error) {
+// nextSeq returns a process-unique request sequence number, stable across
+// the retries of one logical request.
+func (c *Client) nextSeq() uint64 {
+	return uint64(c.id)<<32 | uint64(c.seq.Add(1))
+}
+
+// conn returns a pooled connection (reused=true) or dials a fresh one.
+func (c *Client) conn() (conn net.Conn, reused bool, err error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, fmt.Errorf("netps: client closed")
+		return nil, false, fmt.Errorf("netps: client closed")
 	}
 	if n := len(c.idle); n > 0 {
-		conn := c.idle[n-1]
+		conn = c.idle[n-1]
 		c.idle = c.idle[:n-1]
 		c.mu.Unlock()
-		return conn, nil
+		return conn, true, nil
 	}
 	c.mu.Unlock()
+	conn, err = c.dial()
+	return conn, false, err
+}
+
+// dial opens a fresh connection under the client's timeout.
+func (c *Client) dial() (net.Conn, error) {
+	if c.timeout > 0 {
+		return net.DialTimeout("tcp", c.addr, c.timeout)
+	}
 	return net.Dial("tcp", c.addr)
 }
 
@@ -49,27 +161,109 @@ func (c *Client) release(conn net.Conn) {
 	c.idle = append(c.idle, conn)
 }
 
-// roundTrip sends one request and reads its response on a dedicated
-// connection.
-func (c *Client) roundTrip(req message) (message, error) {
-	conn, err := c.conn()
-	if err != nil {
-		return message{}, err
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// backoff sleeps the exponential, jittered delay for the given attempt.
+func (c *Client) backoff(attempt int) {
+	d := c.backoffBase << uint(attempt)
+	if c.backoffMax > 0 && (d > c.backoffMax || d <= 0) {
+		d = c.backoffMax
+	}
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	jitter := c.rng.Jitter(backoffJitterFrac)
+	c.mu.Unlock()
+	time.Sleep(time.Duration(float64(d) * jitter))
+}
+
+// exchange performs one request/response on one connection, owning the
+// connection's fate: pooled on success, closed on failure.
+func (c *Client) exchange(conn net.Conn, req message) (message, error) {
+	if c.timeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(c.timeout))
 	}
 	if err := writeMessage(conn, req); err != nil {
 		conn.Close()
 		return message{}, err
+	}
+	// Pulls wait for cross-worker aggregation and may legitimately block
+	// far longer than a push acknowledgement.
+	readTimeout := c.timeout
+	if req.Op == OpPull {
+		readTimeout = c.pullTimeout
+	}
+	if readTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(readTimeout))
+	} else {
+		conn.SetReadDeadline(time.Time{})
 	}
 	resp, err := readMessage(conn)
 	if err != nil {
 		conn.Close()
 		return message{}, err
 	}
-	c.release(conn)
-	if resp.Op != req.Op || resp.Key != req.Key || resp.Iter != req.Iter {
+	conn.SetDeadline(time.Time{})
+	if resp.Op == OpErr {
+		// Application-level rejection: the connection is still in sync.
+		c.release(conn)
+		return message{}, &ServerError{Msg: string(resp.Payload)}
+	}
+	if resp.Op != req.Op || resp.Key != req.Key || resp.Iter != req.Iter || resp.Seq != req.Seq {
+		conn.Close()
 		return message{}, fmt.Errorf("netps: mismatched response %v/%s/%d", resp.Op, resp.Key, resp.Iter)
 	}
+	c.release(conn)
 	return resp, nil
+}
+
+// roundTrip sends one request and reads its response, retrying transport
+// failures under the backoff policy. The request Seq is stable across
+// retries so the server deduplicates replays. Server rejections (OpErr)
+// and response mismatches are returned immediately — they are decisions,
+// not transport faults.
+func (c *Client) roundTrip(req message) (message, error) {
+	req.Seq = c.nextSeq()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		conn, reused, err := c.conn()
+		if err == nil {
+			var resp message
+			resp, err = c.exchange(conn, req)
+			if err == nil {
+				return resp, nil
+			}
+			if _, rejected := err.(*ServerError); rejected {
+				return message{}, err
+			}
+			if reused {
+				// Stale pooled connection: the server closed it while it
+				// sat idle, so the request was never processed. Replay
+				// immediately on a fresh dial, free of retry budget.
+				if fresh, derr := c.dial(); derr == nil {
+					resp, err = c.exchange(fresh, req)
+					if err == nil {
+						return resp, nil
+					}
+					if _, rejected := err.(*ServerError); rejected {
+						return message{}, err
+					}
+				} else {
+					err = derr
+				}
+			}
+		}
+		lastErr = err
+		if attempt >= c.maxRetries || c.isClosed() {
+			return message{}, lastErr
+		}
+		c.backoff(attempt)
+	}
 }
 
 // Push sends a gradient partition and returns when the server acknowledges

@@ -1,0 +1,391 @@
+package netps
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"bytescheduler/internal/core"
+	"bytescheduler/internal/tensor"
+)
+
+// fastClient returns a client with millisecond-scale retry/backoff knobs so
+// failure tests run quickly and deterministically.
+func fastClient(addr string, retries int) *Client {
+	return NewClient(addr,
+		WithTimeout(2*time.Second),
+		WithRetries(retries),
+		WithBackoff(2*time.Millisecond, 20*time.Millisecond),
+		WithSeed(42))
+}
+
+func TestStalePooledConnectionRedial(t *testing.T) {
+	srv, addr := startServer(t, 1)
+	c := fastClient(addr, 0) // no retry budget: the redial path must cover this alone
+	defer c.Close()
+
+	if err := c.Push("w", 0, []float32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Pull("w", 0); err != nil {
+		t.Fatal(err)
+	}
+	// The server closes the pooled connection while it sits idle (e.g. an
+	// idle-timeout or restart). The client must detect the stale
+	// connection on reuse, redial, and replay the request.
+	srv.mu.Lock()
+	for conn := range srv.conns {
+		conn.Close()
+	}
+	srv.mu.Unlock()
+	// Give the FIN/RST time to land so reuse fails rather than races.
+	time.Sleep(20 * time.Millisecond)
+
+	if err := c.Push("w", 1, []float32{2}); err != nil {
+		t.Fatalf("push over stale pooled connection not recovered: %v", err)
+	}
+	got, err := c.Pull("w", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 2 {
+		t.Fatalf("value = %v, want 2", got[0])
+	}
+}
+
+func TestServerCloseFailsBlockedPull(t *testing.T) {
+	srv, addr := startServer(t, 2)
+	c := fastClient(addr, 0)
+	defer c.Close()
+
+	if err := c.Push("w", 0, []float32{1}); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Pull("w", 0) // blocks: worker 2 never pushes
+		errCh <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the pull reach the waiter list
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("blocked pull returned data from a closed server")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked pull hung across server Close — waiters leaked")
+	}
+}
+
+func TestServerCloseUnblocksIdleConnections(t *testing.T) {
+	// A handler blocked in readMessage on an idle client connection must
+	// not wedge Close.
+	srv, addr := startServer(t, 1)
+	c := fastClient(addr, 0)
+	defer c.Close()
+	if err := c.Push("w", 0, []float32{1}); err != nil {
+		t.Fatal(err)
+	}
+	// The pooled connection keeps a server handler parked in readMessage.
+	done := make(chan error, 1)
+	go func() { done <- srv.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung on an idle connection handler")
+	}
+}
+
+func TestTruncatedFrameFromServer(t *testing.T) {
+	// A fake shard that answers every request with a truncated frame, then
+	// closes: the client must error out, not hang or misparse.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				if _, err := readMessage(conn); err != nil {
+					return
+				}
+				conn.Write([]byte{byte(OpPush), 0, 0}) // torn header
+			}()
+		}
+	}()
+	c := fastClient(ln.Addr().String(), 1)
+	defer c.Close()
+	if err := c.Push("w", 0, []float32{1}); err == nil {
+		t.Fatal("truncated response accepted")
+	}
+}
+
+func TestTruncatedFrameToServer(t *testing.T) {
+	srv, addr := startServer(t, 1)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half a header, then a hangup: the handler must drop the connection
+	// and the server must stay healthy for other clients.
+	conn.Write([]byte{byte(OpPush), 0, 0, 0})
+	conn.Close()
+
+	c := fastClient(addr, 0)
+	defer c.Close()
+	if err := c.Push("w", 0, []float32{1}); err != nil {
+		t.Fatalf("server unhealthy after truncated frame: %v", err)
+	}
+	if srv.Outstanding() != 1 { // one live entry, awaiting its pull
+		t.Fatalf("outstanding = %d, want 1", srv.Outstanding())
+	}
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	// Framing layer: a header advertising an absurd payload is rejected
+	// before any allocation.
+	var buf bytes.Buffer
+	hdr := make([]byte, fixedHeader+1+4)
+	hdr[0] = byte(OpPush)
+	hdr[13], hdr[14] = 0, 1 // keyLen = 1
+	hdr[fixedHeader] = 'k'
+	for i := 0; i < 4; i++ {
+		hdr[fixedHeader+1+i] = 0xff // payloadLen ~ 4 GiB
+	}
+	buf.Write(hdr)
+	if _, err := readMessage(&buf); err == nil {
+		t.Fatal("oversized payload length accepted")
+	}
+	// Write side symmetric checks.
+	if err := writeMessage(io.Discard, message{Op: OpPush, Payload: make([]byte, maxMessage+1)}); err == nil {
+		t.Fatal("oversized payload write accepted")
+	}
+	// Wire level: a live server must drop the connection.
+	_, addr := startServer(t, 1)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := readMessage(conn); err == nil {
+		t.Fatal("server answered an oversized frame")
+	}
+}
+
+func TestServerErrorResponses(t *testing.T) {
+	_, addr := startServer(t, 1)
+	c := fastClient(addr, 2)
+	defer c.Close()
+	if err := c.Push("w", 0, []float32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	// Size mismatch is an application rejection: OpErr, not a dropped
+	// connection, and not retried at the transport layer.
+	err := c.Push("w", 0, []float32{1, 2, 3})
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("size mismatch error = %v, want ServerError", err)
+	}
+	// The connection survived the rejection: the pull still works.
+	got, err := c.Pull("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("pull after rejection = %v", got)
+	}
+}
+
+func TestPushReplayDeduplicated(t *testing.T) {
+	_, addr := startServer(t, 1)
+	c := fastClient(addr, 0)
+	defer c.Close()
+	// Replay the same logical push (same Seq) twice, as a retry after a
+	// lost ack would: the sum must count it once.
+	req := message{Op: OpPush, Iter: 0, Seq: c.nextSeq(), Key: "w", Payload: Encode([]float32{5})}
+	conn, err := c.dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.exchange(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	conn, err = c.dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.exchange(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Pull("w", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 {
+		t.Fatalf("replayed push double-counted: sum = %v, want 5", got[0])
+	}
+}
+
+// TestSchedulerRecoversFromServerCrash is the end-to-end failure drill: the
+// shard dies mid-iteration with sub-tasks in flight, a replacement comes up
+// on the same address moments later, and the live scheduler must ride it
+// out through its retry budget — credit restored, Stats.Retries > 0, run
+// completes instead of hanging.
+func TestSchedulerRecoversFromServerCrash(t *testing.T) {
+	srv1, addr := startServer(t, 1)
+
+	// Client with no transport retries: every fault surfaces to the
+	// scheduler so the core retry path is what recovers.
+	c := fastClient(addr, 0)
+	defer c.Close()
+
+	sched := core.NewAsync(core.ByteScheduler(4096, 8192).WithMaxRetries(100))
+
+	var crash sync.Once
+	var restart sync.Once
+	var srv2 *Server
+	var srv2mu sync.Mutex
+	kill := func() {
+		srv1.Close()
+		go func() {
+			time.Sleep(80 * time.Millisecond)
+			restart.Do(func() {
+				// The old listener may linger briefly; retry the bind.
+				for i := 0; i < 50; i++ {
+					s, err := NewServer(1)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if _, err := s.Listen(addr); err == nil {
+						srv2mu.Lock()
+						srv2 = s
+						srv2mu.Unlock()
+						return
+					}
+					time.Sleep(20 * time.Millisecond)
+				}
+				t.Error("replacement server never bound")
+			})
+		}()
+	}
+	defer func() {
+		srv2mu.Lock()
+		if srv2 != nil {
+			srv2.Close()
+		}
+		srv2mu.Unlock()
+	}()
+
+	layerSizes := []int{2048, 4096, 1024}
+	results := make([][]float32, len(layerSizes))
+	var wg sync.WaitGroup
+	tasks := make([]*core.Task, len(layerSizes))
+	for layer, n := range layerSizes {
+		layer, n := layer, n
+		grad := make([]float32, n)
+		for i := range grad {
+			grad[i] = float32(layer + 1)
+		}
+		results[layer] = make([]float32, n)
+		wg.Add(1)
+		tasks[layer] = &core.Task{
+			Tensor: tensor.Tensor{Layer: layer, Name: "w", Bytes: int64(4 * n)},
+			StartErr: func(sub tensor.Sub, done func(error)) {
+				key := fmt.Sprintf("L%d[%d/%d]", layer, sub.Index, sub.Count)
+				lo := sub.Offset / 4
+				hi := lo + sub.Bytes/4
+				fail := func(err error) {
+					// Pace scheduler-level retries so the budget spans
+					// the outage instead of burning out instantly.
+					time.Sleep(10 * time.Millisecond)
+					done(err)
+				}
+				if err := c.Push(key, 0, grad[lo:hi]); err != nil {
+					fail(err)
+					return
+				}
+				// First successful sub-task triggers the crash: the rest
+				// of the iteration is in flight when the shard dies.
+				crash.Do(kill)
+				sum, err := c.Pull(key, 0)
+				if err != nil {
+					fail(err)
+					return
+				}
+				copy(results[layer][lo:hi], sum)
+				done(nil)
+			},
+			OnFinished: func() { wg.Done() },
+		}
+		if err := sched.Enqueue(tasks[layer]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for layer := len(tasks) - 1; layer >= 0; layer-- {
+		if err := sched.NotifyReady(tasks[layer]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	finished := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-time.After(20 * time.Second):
+		t.Fatal("run wedged after server crash — retry/backoff did not recover")
+	}
+	sched.Shutdown()
+
+	for _, task := range tasks {
+		if task.Err() != nil {
+			t.Fatalf("task %s failed permanently: %v", task.Tensor, task.Err())
+		}
+	}
+	st := sched.Stats()
+	if st.Retries == 0 {
+		t.Fatal("no scheduler retries recorded — the crash was not exercised")
+	}
+	if st.Failures != 0 {
+		t.Fatalf("failures = %d, want 0", st.Failures)
+	}
+	if st.SubsStarted != st.SubsFinished+st.Retries {
+		t.Fatalf("credit accounting broken: %+v", st)
+	}
+	if !sched.Drained() {
+		t.Fatal("scheduler not drained — credit stranded")
+	}
+	// Values must be intact despite replays: workers=1, so each partition
+	// equals the worker's own gradient.
+	for layer := range layerSizes {
+		for i, v := range results[layer] {
+			if v != float32(layer+1) {
+				t.Fatalf("layer %d[%d] = %v, want %v", layer, i, v, layer+1)
+			}
+		}
+	}
+}

@@ -10,6 +10,14 @@
 // and pulls from this server. The framing is deliberately minimal
 // (length-prefixed binary, one request per round trip per connection) —
 // the scheduler above it, not the RPC layer, is the point.
+//
+// The transport is failure-hardened for the live path: clients carry
+// per-request read/write deadlines, bounded retry with exponential backoff
+// and deterministic jitter, and redial pooled connections the server closed
+// while they sat idle; servers deduplicate replayed pushes by request
+// sequence number, answer application errors with OpErr instead of dropping
+// the connection, and fail blocked pull waiters on Close instead of leaking
+// them. See DESIGN.md, "Fault model & degradation".
 package netps
 
 import (
@@ -27,6 +35,10 @@ const (
 	// OpPull requests the aggregated partition server -> worker; the
 	// response is delayed until aggregation completes.
 	OpPull Op = 2
+	// OpErr is a server -> worker error response: the payload is a UTF-8
+	// message. It replaces silently dropping the connection on application
+	// errors, so clients can tell "request rejected" from "peer died".
+	OpErr Op = 3
 )
 
 // maxMessage bounds a single framed message (payload plus header).
@@ -34,13 +46,22 @@ const maxMessage = 512 << 20
 
 // header is the fixed-size request/response prefix.
 //
-//	op(1) iter(4) keyLen(2) key payloadLen(4) payload
+//	op(1) iter(4) seq(8) keyLen(2) key payloadLen(4) payload
 type message struct {
-	Op      Op
-	Iter    uint32
+	Op   Op
+	Iter uint32
+	// Seq identifies the logical request. A client keeps the same Seq when
+	// it retries a request on a new connection, so the server can
+	// deduplicate pushes whose first attempt was processed but whose
+	// acknowledgement was lost (gradient sums are not idempotent).
+	// Responses echo the request's Seq.
+	Seq     uint64
 	Key     string
 	Payload []byte
 }
+
+// fixedHeader is the length of the constant-size header prefix.
+const fixedHeader = 1 + 4 + 8 + 2
 
 // writeMessage frames and writes one message.
 func writeMessage(w io.Writer, m message) error {
@@ -50,12 +71,13 @@ func writeMessage(w io.Writer, m message) error {
 	if len(m.Payload) > maxMessage {
 		return fmt.Errorf("netps: payload too large (%d bytes)", len(m.Payload))
 	}
-	hdr := make([]byte, 1+4+2+len(m.Key)+4)
+	hdr := make([]byte, fixedHeader+len(m.Key)+4)
 	hdr[0] = byte(m.Op)
 	binary.BigEndian.PutUint32(hdr[1:5], m.Iter)
-	binary.BigEndian.PutUint16(hdr[5:7], uint16(len(m.Key)))
-	copy(hdr[7:], m.Key)
-	binary.BigEndian.PutUint32(hdr[7+len(m.Key):], uint32(len(m.Payload)))
+	binary.BigEndian.PutUint64(hdr[5:13], m.Seq)
+	binary.BigEndian.PutUint16(hdr[13:15], uint16(len(m.Key)))
+	copy(hdr[fixedHeader:], m.Key)
+	binary.BigEndian.PutUint32(hdr[fixedHeader+len(m.Key):], uint32(len(m.Payload)))
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
@@ -69,12 +91,16 @@ func writeMessage(w io.Writer, m message) error {
 
 // readMessage reads one framed message.
 func readMessage(r io.Reader) (message, error) {
-	var fixed [7]byte
+	var fixed [fixedHeader]byte
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
 		return message{}, err
 	}
-	m := message{Op: Op(fixed[0]), Iter: binary.BigEndian.Uint32(fixed[1:5])}
-	keyLen := int(binary.BigEndian.Uint16(fixed[5:7]))
+	m := message{
+		Op:   Op(fixed[0]),
+		Iter: binary.BigEndian.Uint32(fixed[1:5]),
+		Seq:  binary.BigEndian.Uint64(fixed[5:13]),
+	}
+	keyLen := int(binary.BigEndian.Uint16(fixed[13:15]))
 	buf := make([]byte, keyLen+4)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return message{}, err

@@ -9,16 +9,27 @@ import (
 	"sync"
 )
 
+// errServerClosed is the error text sent to pull waiters failed by Close.
+const errServerClosed = "server closed"
+
 // Server is a single-shard parameter server: it sums fp32 payloads pushed
 // by Workers distinct workers per (key, iteration) and answers pulls once
 // every worker has pushed. Deploy one Server per shard and spread keys
 // across shards, exactly like the simulated cluster.
+//
+// The server is hardened for the live path: application errors are
+// answered with OpErr instead of dropping the connection, replayed pushes
+// (same request Seq) are acknowledged without double-summing, and Close
+// fails every blocked pull waiter and open connection instead of leaking
+// them — a crashed or drained shard surfaces as an error at the worker,
+// never as a hang.
 type Server struct {
 	workers int
 
 	mu      sync.Mutex
 	entries map[entryKey]*entry
 	ln      net.Listener
+	conns   map[net.Conn]struct{}
 	wg      sync.WaitGroup
 	closed  bool
 }
@@ -29,10 +40,17 @@ type entryKey struct {
 }
 
 type entry struct {
-	sum     []float32
-	pushes  int
-	waiters []chan []byte
-	served  int
+	sum    []float32
+	pushes int
+	// pushSeen deduplicates replayed pushes: a client retries with the
+	// same Seq, and gradient sums are not idempotent.
+	pushSeen map[uint64]struct{}
+	// pullSeen records which logical pulls were already counted as served,
+	// so a retried pull is re-answered without double-counting toward
+	// entry reclamation.
+	pullSeen map[uint64]struct{}
+	waiters  []chan []byte
+	served   int
 }
 
 // NewServer creates a server expecting the given number of workers per key
@@ -41,7 +59,11 @@ func NewServer(workers int) (*Server, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("netps: need at least one worker, got %d", workers)
 	}
-	return &Server{workers: workers, entries: make(map[entryKey]*entry)}, nil
+	return &Server{
+		workers: workers,
+		entries: make(map[entryKey]*entry),
+		conns:   make(map[net.Conn]struct{}),
+	}, nil
 }
 
 // Listen binds to addr (e.g. "127.0.0.1:0") and serves connections until
@@ -52,6 +74,11 @@ func (s *Server) Listen(addr string) (string, error) {
 		return "", err
 	}
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("netps: server closed")
+	}
 	s.ln = ln
 	s.mu.Unlock()
 	s.wg.Add(1)
@@ -66,10 +93,23 @@ func (s *Server) acceptLoop(ln net.Listener) {
 		if err != nil {
 			return // listener closed
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			defer conn.Close()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
 			s.serve(conn)
 		}()
 	}
@@ -81,7 +121,7 @@ func (s *Server) serve(conn net.Conn) {
 	for {
 		req, err := readMessage(conn)
 		if err != nil {
-			return // EOF or broken peer
+			return // EOF, broken peer, or malformed/oversized frame
 		}
 		switch req.Op {
 		case OpPush:
@@ -93,36 +133,66 @@ func (s *Server) serve(conn net.Conn) {
 				return
 			}
 		default:
-			return // protocol error: drop the connection
+			// Protocol error: tell the peer, then drop the connection —
+			// framing may be out of sync.
+			writeErr(conn, req, "unknown op")
+			return
 		}
 	}
 }
 
+// writeErr answers a request with an OpErr response carrying text.
+func writeErr(conn net.Conn, req message, text string) error {
+	return writeMessage(conn, message{Op: OpErr, Iter: req.Iter, Seq: req.Seq, Key: req.Key, Payload: []byte(text)})
+}
+
 func (s *Server) handlePush(conn net.Conn, req message) error {
 	if len(req.Payload)%4 != 0 {
-		return errors.New("netps: push payload not a float32 vector")
+		// The frame itself was well-formed, so the stream stays in sync:
+		// reject the request but keep the connection.
+		return writeErr(conn, req, "push payload not a float32 vector")
 	}
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return writeErr(conn, req, errServerClosed)
+	}
 	e := s.entry(entryKey{req.Key, req.Iter})
+	if _, dup := e.pushSeen[req.Seq]; dup && req.Seq != 0 {
+		// Replayed push (client retried after a lost ack): acknowledge
+		// without summing again.
+		s.mu.Unlock()
+		return writeMessage(conn, message{Op: OpPush, Iter: req.Iter, Seq: req.Seq, Key: req.Key})
+	}
 	if e.sum == nil {
 		e.sum = make([]float32, len(req.Payload)/4)
 	}
 	if len(e.sum)*4 != len(req.Payload) {
 		s.mu.Unlock()
-		return fmt.Errorf("netps: push size mismatch for %s", req.Key)
+		return writeErr(conn, req, fmt.Sprintf("push size mismatch for %s", req.Key))
+	}
+	if e.pushes >= s.workers {
+		// More pushes than workers for one (key, iter): a protocol misuse
+		// that would corrupt the aggregate other workers already pulled.
+		s.mu.Unlock()
+		return writeErr(conn, req, fmt.Sprintf("push overflow for %s (all %d workers already pushed)", req.Key, s.workers))
 	}
 	for i := range e.sum {
 		bits := binary.BigEndian.Uint32(req.Payload[i*4:])
 		e.sum[i] += math.Float32frombits(bits)
 	}
+	if req.Seq != 0 {
+		if e.pushSeen == nil {
+			e.pushSeen = make(map[uint64]struct{})
+		}
+		e.pushSeen[req.Seq] = struct{}{}
+	}
 	e.pushes++
 	var wake []chan []byte
+	var result []byte
 	if e.pushes == s.workers {
 		wake = e.waiters
 		e.waiters = nil
-	}
-	var result []byte
-	if e.pushes == s.workers {
 		result = encode(e.sum)
 	}
 	s.mu.Unlock()
@@ -130,34 +200,64 @@ func (s *Server) handlePush(conn net.Conn, req message) error {
 		ch <- result
 	}
 	// Ack the push (empty payload).
-	return writeMessage(conn, message{Op: OpPush, Iter: req.Iter, Key: req.Key})
+	return writeMessage(conn, message{Op: OpPush, Iter: req.Iter, Seq: req.Seq, Key: req.Key})
 }
 
 func (s *Server) handlePull(conn net.Conn, req message) error {
+	k := entryKey{req.Key, req.Iter}
 	s.mu.Lock()
-	e := s.entry(entryKey{req.Key, req.Iter})
+	if s.closed {
+		s.mu.Unlock()
+		return writeErr(conn, req, errServerClosed)
+	}
+	e := s.entry(k)
 	if e.pushes >= s.workers {
 		payload := encode(e.sum)
-		s.noteServed(entryKey{req.Key, req.Iter}, e)
 		s.mu.Unlock()
-		return writeMessage(conn, message{Op: OpPull, Iter: req.Iter, Key: req.Key, Payload: payload})
+		return s.respondPull(conn, req, payload)
 	}
 	ch := make(chan []byte, 1)
 	e.waiters = append(e.waiters, ch)
 	s.mu.Unlock()
 	payload := <-ch
-	s.mu.Lock()
-	s.noteServed(entryKey{req.Key, req.Iter}, e)
-	s.mu.Unlock()
-	return writeMessage(conn, message{Op: OpPull, Iter: req.Iter, Key: req.Key, Payload: payload})
+	if payload == nil {
+		// Woken by Close: fail the pull instead of hanging the worker.
+		return writeErr(conn, req, errServerClosed)
+	}
+	return s.respondPull(conn, req, payload)
 }
 
-// noteServed reclaims the entry after every worker pulled it.
-func (s *Server) noteServed(k entryKey, e *entry) {
+// respondPull writes the aggregated payload and — only if the write
+// succeeded — counts the pull toward entry reclamation. Counting before a
+// failed write would strand other workers: the entry could be reclaimed
+// while a worker that never received the data retries its pull against a
+// fresh, empty entry.
+func (s *Server) respondPull(conn net.Conn, req message, payload []byte) error {
+	err := writeMessage(conn, message{Op: OpPull, Iter: req.Iter, Seq: req.Seq, Key: req.Key, Payload: payload})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := entryKey{req.Key, req.Iter}
+	e, ok := s.entries[k]
+	if !ok {
+		return nil
+	}
+	if req.Seq != 0 {
+		if _, dup := e.pullSeen[req.Seq]; dup {
+			return nil // retried pull: already counted
+		}
+		if e.pullSeen == nil {
+			e.pullSeen = make(map[uint64]struct{})
+		}
+		e.pullSeen[req.Seq] = struct{}{}
+	}
 	e.served++
 	if e.served >= s.workers {
 		delete(s.entries, k)
 	}
+	return nil
 }
 
 func (s *Server) entry(k entryKey) *entry {
@@ -176,7 +276,10 @@ func (s *Server) Outstanding() int {
 	return len(s.entries)
 }
 
-// Close stops the listener and waits for connection handlers to drain.
+// Close stops the listener, fails every blocked pull waiter, closes open
+// connections, and waits for connection handlers to drain. Workers blocked
+// in Pull receive an error instead of hanging forever — the graceful half
+// of the failure story; the client-side retry/backoff is the other half.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -185,10 +288,28 @@ func (s *Server) Close() error {
 	}
 	s.closed = true
 	ln := s.ln
+	// Fail blocked pull waiters: a nil payload tells handlePull to answer
+	// OpErr rather than data.
+	var wake []chan []byte
+	for _, e := range s.entries {
+		wake = append(wake, e.waiters...)
+		e.waiters = nil
+	}
+	// Unblock handlers stuck in readMessage on idle connections.
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
 	s.mu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
+	}
+	for _, ch := range wake {
+		ch <- nil
+	}
+	for _, c := range conns {
+		c.Close()
 	}
 	s.wg.Wait()
 	return err

@@ -1,0 +1,137 @@
+package network
+
+import (
+	"testing"
+
+	"bytescheduler/internal/sim"
+)
+
+// runTransfers pushes n back-to-back messages node 0 -> 1 and returns the
+// completion time and fault counters.
+func runTransfers(t *testing.T, fc *FaultConfig, n int, bytes int64) (float64, FaultStats) {
+	t.Helper()
+	eng := sim.New()
+	fab := NewFabric(eng, 2, 10, TCP())
+	if fc != nil {
+		if err := fab.InjectFaults(*fc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var last float64
+	for i := 0; i < n; i++ {
+		fab.Send(&Transfer{
+			Src: 0, Dst: 1, Bytes: bytes,
+			OnDelivered: func() { last = eng.Now() },
+		})
+	}
+	eng.Run()
+	if got := fab.Delivered(); got != uint64(n) {
+		t.Fatalf("delivered = %d, want %d — faults must degrade, never lose", got, n)
+	}
+	return last, fab.FaultStats()
+}
+
+func TestFaultConfigValidate(t *testing.T) {
+	eng := sim.New()
+	fab := NewFabric(eng, 2, 10, TCP())
+	bad := []FaultConfig{
+		{DropProb: -0.1},
+		{DropProb: 1},
+		{SpikeProb: 0.5}, // missing SpikeSec
+		{RetransmitDelay: -1},
+		{Outages: []Outage{{Node: 5, Start: 0, Duration: 1}}},
+		{Outages: []Outage{{Node: 0, Start: 0, Duration: 0}}},
+	}
+	for i, fc := range bad {
+		if err := fab.InjectFaults(fc); err == nil {
+			t.Errorf("config %d accepted: %+v", i, fc)
+		}
+	}
+}
+
+func TestDropsDegradeDeterministically(t *testing.T) {
+	const n, bytes = 200, 1 << 20
+	clean, _ := runTransfers(t, nil, n, bytes)
+	fc := FaultConfig{Seed: 7, DropProb: 0.05, RetransmitDelay: 10e-3}
+	faulty1, st1 := runTransfers(t, &fc, n, bytes)
+	faulty2, st2 := runTransfers(t, &fc, n, bytes)
+	if st1.Retransmits == 0 {
+		t.Fatal("no retransmits at 5% drop over 200 messages")
+	}
+	if faulty1 != faulty2 || st1 != st2 {
+		t.Fatalf("same seed diverged: %v/%v, %+v/%+v", faulty1, faulty2, st1, st2)
+	}
+	wantExtra := float64(st1.Retransmits) * fc.RetransmitDelay
+	gotExtra := faulty1 - clean
+	if diff := gotExtra - wantExtra; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("drop penalty = %v, want %v", gotExtra, wantExtra)
+	}
+	// A different seed draws a different fault sequence.
+	fc2 := fc
+	fc2.Seed = 8
+	_, st3 := runTransfers(t, &fc2, n, bytes)
+	if st3.Retransmits == st1.Retransmits {
+		t.Log("seeds drew identical retransmit counts (possible but unlikely)")
+	}
+}
+
+func TestLatencySpikes(t *testing.T) {
+	const n, bytes = 100, 1 << 20
+	clean, _ := runTransfers(t, nil, n, bytes)
+	fc := FaultConfig{Seed: 3, SpikeProb: 0.1, SpikeSec: 50e-3}
+	faulty, st := runTransfers(t, &fc, n, bytes)
+	if st.Spikes == 0 {
+		t.Fatal("no spikes at 10% over 100 messages")
+	}
+	wantExtra := float64(st.Spikes) * fc.SpikeSec
+	if diff := (faulty - clean) - wantExtra; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("spike penalty = %v, want %v", faulty-clean, wantExtra)
+	}
+}
+
+func TestOutageStallsAndRecovers(t *testing.T) {
+	eng := sim.New()
+	fab := NewFabric(eng, 2, 10, TCP())
+	const outEnd = 0.5
+	if err := fab.InjectFaults(FaultConfig{
+		Outages: []Outage{{Node: 1, Start: 0, Duration: outEnd}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var delivered float64
+	fab.Send(&Transfer{Src: 0, Dst: 1, Bytes: 1 << 20,
+		OnDelivered: func() { delivered = eng.Now() }})
+	eng.Run()
+	if delivered < outEnd {
+		t.Fatalf("delivered at %v, inside the outage window [0,%v)", delivered, outEnd)
+	}
+	st := fab.FaultStats()
+	if st.OutageDeferred == 0 {
+		t.Fatal("outage never deferred the transfer")
+	}
+	// The transfer completes promptly once the link returns.
+	want := outEnd + fab.TransferTime(1<<20)
+	if diff := delivered - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("delivered at %v, want %v", delivered, want)
+	}
+}
+
+func TestOutagePreservesFIFO(t *testing.T) {
+	// Messages behind an outage-deferred head must not jump the NIC queue.
+	eng := sim.New()
+	fab := NewFabric(eng, 3, 10, TCP())
+	if err := fab.InjectFaults(FaultConfig{
+		Outages: []Outage{{Node: 1, Start: 0, Duration: 0.2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var order []int
+	fab.Send(&Transfer{Src: 0, Dst: 1, Bytes: 1 << 10,
+		OnDelivered: func() { order = append(order, 1) }})
+	fab.Send(&Transfer{Src: 0, Dst: 2, Bytes: 1 << 10,
+		OnDelivered: func() { order = append(order, 2) }})
+	eng.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("delivery order = %v, want [1 2] (FIFO across the outage)", order)
+	}
+}

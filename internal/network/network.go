@@ -171,6 +171,9 @@ type Fabric struct {
 	delivered uint64
 	sentBytes int64
 	rec       *trace.Recorder
+	// faults, when non-nil, injects deterministic degradation (drops,
+	// outages, latency spikes); see InjectFaults.
+	faults *faultState
 }
 
 // SetTrace records every transfer as a span on the source node's uplink
@@ -264,7 +267,7 @@ func (f *Fabric) dispatch() {
 			kept = append(kept, t)
 			continue
 		}
-		if f.up[t.Src].busy || f.down[t.Dst].busy {
+		if f.up[t.Src].busy || f.down[t.Dst].busy || f.outageBlocked(t) {
 			if blockedSrc == nil {
 				blockedSrc = make(map[int]bool)
 			}
@@ -293,7 +296,7 @@ func (f *Fabric) start(t *Transfer) {
 		overhead = f.prof.PipelinedOverhead
 		t.pipelined = true
 	}
-	dur := overhead + float64(t.Bytes)/f.bytesPerS
+	dur := overhead + float64(t.Bytes)/f.bytesPerS + f.faultPenalty()
 	t.start = now
 	src.busy, dst.busy = true, true
 	src.busyTime += dur

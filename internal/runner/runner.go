@@ -99,6 +99,12 @@ type Config struct {
 	// natural default — naive whole-tensor round-robin for unpartitioned
 	// policies, partition spreading when the policy partitions.
 	Assignment *ps.Assignment
+	// Faults, if non-nil, injects deterministic fabric degradation
+	// (message drops, transient link outages, latency spikes) — the
+	// simulated mirror of the live stack's failure hardening. PS only:
+	// the all-reduce substrate models the ring analytically and has no
+	// per-message fabric to degrade.
+	Faults *network.FaultConfig
 	// Iterations and Warmup control measurement (paper: 500 after 10; the
 	// simulator is deterministic, so defaults are smaller).
 	Iterations, Warmup int
@@ -149,6 +155,16 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("runner: unknown arch %d", int(c.Arch))
 	}
+	if c.Faults != nil {
+		if c.Arch != PS {
+			return fmt.Errorf("runner: fault injection requires the PS fabric")
+		}
+		// Fault nodes live on the shared worker+server fabric (2x machines
+		// nodes: workers then servers).
+		if err := c.Faults.Validate(2 * c.Machines()); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -180,6 +196,9 @@ type Result struct {
 	// UpStats aggregates the push/master scheduler counters across
 	// workers; DownStats the pull side (PS only).
 	UpStats, DownStats core.Stats
+	// Faults counts injected fabric degradation (zero without fault
+	// injection).
+	Faults network.FaultStats
 }
 
 // instance is a wired simulation ready to start.
@@ -211,6 +230,11 @@ func build(cfg Config, engCfg engine.Config) (*instance, error) {
 	case PS:
 		fab := network.NewFabric(se, 2*machines, cfg.BandwidthGbps, cfg.Transport)
 		fab.SetTrace(cfg.Trace)
+		if cfg.Faults != nil {
+			if err := fab.InjectFaults(*cfg.Faults); err != nil {
+				return nil, err
+			}
+		}
 		assignment := ps.RoundRobinTensor
 		if cfg.Policy.PartitionUnit > 0 {
 			assignment = ps.SpreadPartitions
@@ -238,6 +262,7 @@ func build(cfg Config, engCfg engine.Config) (*instance, error) {
 		inst.setParams = plug.SetParams
 		inst.collect = func(res *Result) error {
 			res.LoadImbalance = cluster.LoadImbalance()
+			res.Faults = fab.FaultStats()
 			for w := 0; w < machines; w++ {
 				res.UpStats = addStats(res.UpStats, plug.UpScheduler(w).Stats())
 				res.DownStats = addStats(res.DownStats, plug.DownScheduler(w).Stats())
@@ -330,6 +355,8 @@ func addStats(a, b core.Stats) core.Stats {
 	a.SubsStarted += b.SubsStarted
 	a.SubsFinished += b.SubsFinished
 	a.Preemptions += b.Preemptions
+	a.Retries += b.Retries
+	a.Failures += b.Failures
 	if b.MaxQueueLen > a.MaxQueueLen {
 		a.MaxQueueLen = b.MaxQueueLen
 	}

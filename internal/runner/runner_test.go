@@ -63,6 +63,42 @@ func TestValidation(t *testing.T) {
 	}
 }
 
+func TestFaultInjection(t *testing.T) {
+	cfg := vggPS(t, network.TCP(), 25, 16)
+	cfg.Iterations = 6
+	clean := mustRun(t, cfg)
+
+	faulty := cfg
+	faulty.Faults = &network.FaultConfig{Seed: 11, DropProb: 0.02, RetransmitDelay: 2e-3}
+	degraded := mustRun(t, faulty)
+	if degraded.Faults.Retransmits == 0 {
+		t.Fatal("no retransmits recorded at 2% drop")
+	}
+	if degraded.SamplesPerSec >= clean.SamplesPerSec {
+		t.Fatalf("faults did not slow the run: %.0f >= %.0f",
+			degraded.SamplesPerSec, clean.SamplesPerSec)
+	}
+	// Determinism must survive fault injection.
+	again := mustRun(t, faulty)
+	if again.SamplesPerSec != degraded.SamplesPerSec || again.Faults != degraded.Faults {
+		t.Fatalf("faulty run not deterministic: %v vs %v (%+v vs %+v)",
+			again.SamplesPerSec, degraded.SamplesPerSec, again.Faults, degraded.Faults)
+	}
+
+	// Faults require the PS fabric: the collective substrate is analytic.
+	ar := faulty
+	ar.Arch = AllReduce
+	if _, err := Run(ar); err == nil {
+		t.Fatal("fault injection on all-reduce accepted")
+	}
+	// Invalid fault configs are rejected at validation time.
+	bad := faulty
+	bad.Faults = &network.FaultConfig{DropProb: -1}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("invalid fault config accepted")
+	}
+}
+
 func TestNameAndMachines(t *testing.T) {
 	cfg := vggPS(t, network.RDMA(), 100, 32)
 	if cfg.Machines() != 4 {

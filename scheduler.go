@@ -30,12 +30,28 @@ type CommTask struct {
 	// Start launches one partition on the underlying communication stack.
 	// It may block; it runs on its own goroutine. done must be called
 	// exactly once when the partition's communication has completed.
+	// Exactly one of Start and StartErr must be set.
 	Start func(sub SubTask, done func())
+	// StartErr is the failure-aware variant of Start: the substrate reports
+	// the partition outcome through done(err). A non-nil error returns the
+	// partition's credit and requeues it, up to the policy's retry budget
+	// (WithMaxRetries); after the budget is exhausted the task completes
+	// with Err() set. Use this with fallible transports such as netps.
+	StartErr func(sub SubTask, done func(error))
 	// OnFinished, if non-nil, fires once when every partition has
-	// completed.
+	// completed (successfully or after exhausting retries; check Err).
 	OnFinished func()
 
 	inner *core.Task
+}
+
+// Err returns the first partition failure that exhausted the retry budget,
+// or nil. Meaningful once OnFinished has fired (or after Shutdown).
+func (t *CommTask) Err() error {
+	if t.inner == nil {
+		return nil
+	}
+	return t.inner.Err()
 }
 
 // Scheduler is the live, goroutine-safe ByteScheduler Core for embedding in
@@ -63,22 +79,32 @@ func (s *Scheduler) Enqueue(t *CommTask) error {
 		Tensor:     tensor.Tensor{Layer: t.Layer, Name: t.Name, Bytes: t.Bytes},
 		OnFinished: t.OnFinished,
 	}
-	start := t.Start
-	inner.Start = func(sub tensor.Sub, done func()) {
-		start(SubTask{
-			Layer:      sub.Parent.Layer,
-			TensorName: sub.Parent.Name,
-			Index:      sub.Index,
-			Count:      sub.Count,
-			Offset:     sub.Offset,
-			Bytes:      sub.Bytes,
-		}, done)
+	if start := t.Start; start != nil {
+		inner.Start = func(sub tensor.Sub, done func()) {
+			start(subTask(sub), done)
+		}
+	}
+	if start := t.StartErr; start != nil {
+		inner.StartErr = func(sub tensor.Sub, done func(error)) {
+			start(subTask(sub), done)
+		}
 	}
 	if err := s.async.Enqueue(inner); err != nil {
 		return err
 	}
 	t.inner = inner
 	return nil
+}
+
+func subTask(sub tensor.Sub) SubTask {
+	return SubTask{
+		Layer:      sub.Parent.Layer,
+		TensorName: sub.Parent.Name,
+		Index:      sub.Index,
+		Count:      sub.Count,
+		Offset:     sub.Offset,
+		Bytes:      sub.Bytes,
+	}
 }
 
 // NotifyReady marks the task's tensor as computed and eligible for
@@ -101,6 +127,10 @@ type SchedulerStats struct {
 	// TasksEnqueued, SubsStarted, SubsFinished, Preemptions mirror the
 	// core counters; see the package documentation.
 	TasksEnqueued, SubsStarted, SubsFinished, Preemptions uint64
+	// Retries counts partitions requeued after a reported failure;
+	// Failures counts partitions that exhausted the retry budget. At
+	// quiescence SubsStarted == SubsFinished + Failures + Retries.
+	Retries, Failures uint64
 }
 
 // Stats snapshots the counters.
@@ -111,6 +141,8 @@ func (s *Scheduler) Stats() SchedulerStats {
 		SubsStarted:   st.SubsStarted,
 		SubsFinished:  st.SubsFinished,
 		Preemptions:   st.Preemptions,
+		Retries:       st.Retries,
+		Failures:      st.Failures,
 	}
 }
 
