@@ -1,6 +1,7 @@
 GO ?= go
+STATICCHECK ?= staticcheck
 
-.PHONY: build vet test race verify bench
+.PHONY: build vet staticcheck test race verify bench
 
 build:
 	$(GO) build ./...
@@ -8,15 +9,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# staticcheck runs honnef.co/go/tools if it is installed; locally it is
+# optional (skipped with a notice), but CI installs it and fails on
+# findings.
+staticcheck:
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		$(STATICCHECK) ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# verify is the CI gate: everything must build, pass vet, and pass the full
-# test suite with the race detector on.
-verify: build vet race
+# verify is the CI gate: everything must build, pass vet + staticcheck, and
+# pass the full test suite with the race detector on.
+verify: build vet staticcheck race
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -223,6 +223,14 @@ type Experiment struct {
 	// Faults, if non-nil, degrades the fabric deterministically (PS only);
 	// see FaultInjection.
 	Faults *FaultInjection
+	// Metrics, if non-nil, receives the run's counters, gauges and span
+	// histograms — the same metric names a live scheduler publishes, so sim
+	// and live scrapes are directly comparable.
+	Metrics *Metrics
+	// Trace, if non-nil, records the run's compute and network spans for
+	// Chrome-trace export (TraceRecorder.WriteChromeTrace). The simulated
+	// timeline uses the identical schema as a live trace.
+	Trace *TraceRecorder
 }
 
 // Measurement is the outcome of one experiment.
@@ -299,6 +307,8 @@ func (e Experiment) runnerConfig() (runner.Config, error) {
 		Jitter:        e.Jitter,
 		Seed:          e.Seed,
 		Faults:        e.Faults.config(),
+		Metrics:       e.Metrics.registry(),
+		Trace:         e.Trace.recorder(),
 	}, nil
 }
 

@@ -1,7 +1,7 @@
 // Command bytesched runs one simulated distributed-training configuration
 // and reports its speed, optionally comparing against the vanilla baseline
-// and linear scaling, auto-tuning the scheduler parameters, and dumping a
-// GPU timeline.
+// and linear scaling, auto-tuning the scheduler parameters, dumping a GPU
+// timeline, and exposing run metrics for scraping.
 //
 // Examples:
 //
@@ -9,15 +9,21 @@
 //	bytesched -model Transformer -arch nccl -policy p3
 //	bytesched -model ResNet50 -tune 12
 //	bytesched -model VGG16 -gantt -iters 4
+//	bytesched -model VGG16 -metrics
+//	bytesched -model VGG16 -http :8080   # then: curl localhost:8080/metrics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 
 	"bytescheduler/internal/core"
+	"bytescheduler/internal/metrics"
 	"bytescheduler/internal/model"
 	"bytescheduler/internal/network"
 	"bytescheduler/internal/plugin"
@@ -26,58 +32,78 @@ import (
 	"bytescheduler/internal/tune"
 )
 
+// options collects every command-line knob. run takes the struct rather
+// than a positional parameter list so new observability flags don't ripple
+// through every call site.
+type options struct {
+	Model, Framework, Arch, Transport, Policy string
+	BW, PartMB, CreditMB                      float64
+	GPUs, Iters, Warmup, TuneN                int
+	Seed                                      int64
+	Jitter                                    float64
+	Async, Gantt                              bool
+	ChromeOut                                 string
+	// Metrics prints the run's metrics in Prometheus text format after the
+	// summary.
+	Metrics bool
+	// HTTP, when non-empty, serves /metrics and /debug/pprof at this
+	// address after the run completes (blocking until interrupted), so a
+	// scraper or profiler can inspect the finished run.
+	HTTP string
+	// serveStarted, when non-nil, is invoked with the bound address instead
+	// of blocking in http.Serve — a hook for tests.
+	serveStarted func(addr string)
+}
+
 func main() {
-	var (
-		modelName = flag.String("model", "VGG16", "model: "+strings.Join(model.Names(), ", "))
-		framework = flag.String("framework", "mxnet", "framework: mxnet, tensorflow, pytorch")
-		arch      = flag.String("arch", "ps", "gradient synchronization: ps or nccl")
-		transport = flag.String("transport", "rdma", "transport: tcp or rdma")
-		bw        = flag.Float64("bw", 100, "per-direction bandwidth in Gbps")
-		gpus      = flag.Int("gpus", 16, "total GPUs (multiple of 8)")
-		policy    = flag.String("policy", "bytescheduler", "policy: fifo, p3, tictac, bytescheduler")
-		partMB    = flag.Float64("partition", 2, "partition size in MB (bytescheduler policy)")
-		creditMB  = flag.Float64("credit", 8, "credit size in MB (bytescheduler policy)")
-		async     = flag.Bool("async", false, "asynchronous PS")
-		iters     = flag.Int("iters", 12, "iterations to simulate")
-		warmup    = flag.Int("warmup", 2, "warmup iterations excluded from measurement")
-		jitter    = flag.Float64("jitter", 0, "relative compute jitter, e.g. 0.02")
-		seed      = flag.Int64("seed", 1, "random seed")
-		tuneN     = flag.Int("tune", 0, "auto-tune partition/credit with this many BO trials")
-		gantt     = flag.Bool("gantt", false, "print an ASCII GPU timeline")
-		chromeOut = flag.String("chrome-trace", "", "write a Chrome trace JSON to this file")
-	)
+	var o options
+	flag.StringVar(&o.Model, "model", "VGG16", "model: "+strings.Join(model.Names(), ", "))
+	flag.StringVar(&o.Framework, "framework", "mxnet", "framework: mxnet, tensorflow, pytorch")
+	flag.StringVar(&o.Arch, "arch", "ps", "gradient synchronization: ps or nccl")
+	flag.StringVar(&o.Transport, "transport", "rdma", "transport: tcp or rdma")
+	flag.Float64Var(&o.BW, "bw", 100, "per-direction bandwidth in Gbps")
+	flag.IntVar(&o.GPUs, "gpus", 16, "total GPUs (multiple of 8)")
+	flag.StringVar(&o.Policy, "policy", "bytescheduler", "policy: fifo, p3, tictac, bytescheduler")
+	flag.Float64Var(&o.PartMB, "partition", 2, "partition size in MB (bytescheduler policy)")
+	flag.Float64Var(&o.CreditMB, "credit", 8, "credit size in MB (bytescheduler policy)")
+	flag.BoolVar(&o.Async, "async", false, "asynchronous PS")
+	flag.IntVar(&o.Iters, "iters", 12, "iterations to simulate")
+	flag.IntVar(&o.Warmup, "warmup", 2, "warmup iterations excluded from measurement")
+	flag.Float64Var(&o.Jitter, "jitter", 0, "relative compute jitter, e.g. 0.02")
+	flag.Int64Var(&o.Seed, "seed", 1, "random seed")
+	flag.IntVar(&o.TuneN, "tune", 0, "auto-tune partition/credit with this many BO trials")
+	flag.BoolVar(&o.Gantt, "gantt", false, "print an ASCII GPU timeline")
+	flag.StringVar(&o.ChromeOut, "chrome-trace", "", "write a Chrome trace JSON to this file")
+	flag.BoolVar(&o.Metrics, "metrics", false, "print run metrics in Prometheus text format")
+	flag.StringVar(&o.HTTP, "http", "", "serve /metrics and /debug/pprof at this address after the run")
 	flag.Parse()
-	if err := run(*modelName, *framework, *arch, *transport, *policy, *bw, *partMB, *creditMB,
-		*gpus, *iters, *warmup, *tuneN, *seed, *jitter, *async, *gantt, *chromeOut); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bytesched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(modelName, framework, arch, transport, policy string,
-	bw, partMB, creditMB float64, gpus, iters, warmup, tuneN int,
-	seed int64, jitter float64, async, gantt bool, chromeOut string) error {
-
-	m, err := model.ByName(modelName)
+func run(o options) error {
+	m, err := model.ByName(o.Model)
 	if err != nil {
 		return err
 	}
-	fw, err := plugin.FrameworkByName(framework)
+	fw, err := plugin.FrameworkByName(o.Framework)
 	if err != nil {
 		return err
 	}
-	prof, err := network.ProfileByName(transport)
+	prof, err := network.ProfileByName(o.Transport)
 	if err != nil {
 		return err
 	}
 	var a runner.Arch
-	switch strings.ToLower(arch) {
+	switch strings.ToLower(o.Arch) {
 	case "ps":
 		a = runner.PS
 	case "nccl", "allreduce", "all-reduce":
 		a = runner.AllReduce
 	default:
-		return fmt.Errorf("unknown arch %q", arch)
+		return fmt.Errorf("unknown arch %q", o.Arch)
 	}
 
 	cfg := runner.Config{
@@ -85,16 +111,16 @@ func run(modelName, framework, arch, transport, policy string,
 		Framework:     fw,
 		Arch:          a,
 		Transport:     prof,
-		BandwidthGbps: bw,
-		GPUs:          gpus,
-		Iterations:    iters,
-		Warmup:        warmup,
-		Jitter:        jitter,
-		Seed:          seed,
-		Async:         async,
+		BandwidthGbps: o.BW,
+		GPUs:          o.GPUs,
+		Iterations:    o.Iters,
+		Warmup:        o.Warmup,
+		Jitter:        o.Jitter,
+		Seed:          o.Seed,
+		Async:         o.Async,
 	}
 
-	switch strings.ToLower(policy) {
+	switch strings.ToLower(o.Policy) {
 	case "fifo":
 		cfg.Policy = core.FIFO()
 	case "p3":
@@ -104,22 +130,22 @@ func run(modelName, framework, arch, transport, policy string,
 		cfg.Policy = core.TicTacLike()
 		cfg.Scheduled = true
 	case "bytescheduler", "bs":
-		cfg.Policy = core.ByteScheduler(int64(partMB*(1<<20)), int64(creditMB*(1<<20)))
+		cfg.Policy = core.ByteScheduler(int64(o.PartMB*(1<<20)), int64(o.CreditMB*(1<<20)))
 		cfg.Scheduled = true
 	default:
-		return fmt.Errorf("unknown policy %q", policy)
+		return fmt.Errorf("unknown policy %q", o.Policy)
 	}
 
-	if tuneN > 0 {
-		fmt.Printf("auto-tuning %s with %d BO trials...\n", cfg.Name(), tuneN)
-		res := tune.PartitionCredit(tune.NewBO(tune.ParamBounds(), seed),
+	if o.TuneN > 0 {
+		fmt.Printf("auto-tuning %s with %d BO trials...\n", cfg.Name(), o.TuneN)
+		res := tune.PartitionCredit(tune.NewBO(tune.ParamBounds(), o.Seed),
 			func(p, c int64) float64 {
 				speed, err := runner.SpeedWithParams(cfg, p, c)
 				if err != nil {
 					return 0
 				}
 				return speed
-			}, tuneN)
+			}, o.TuneN)
 		fmt.Printf("best: partition=%.1fMB credit=%.1fMB -> %.0f %s/s\n",
 			float64(res.Partition)/(1<<20), float64(res.Credit)/(1<<20), res.Speed, m.SampleUnit)
 		cfg.Policy = core.ByteScheduler(res.Partition, res.Credit)
@@ -127,9 +153,14 @@ func run(modelName, framework, arch, transport, policy string,
 	}
 
 	var rec *trace.Recorder
-	if gantt || chromeOut != "" {
+	if o.Gantt || o.ChromeOut != "" {
 		rec = trace.New()
 		cfg.Trace = rec
+	}
+	var reg *metrics.Registry
+	if o.Metrics || o.HTTP != "" {
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
 	}
 
 	res, err := runner.Run(cfg)
@@ -141,6 +172,7 @@ func run(modelName, framework, arch, transport, policy string,
 	baseCfg.Policy = core.FIFO()
 	baseCfg.Scheduled = false
 	baseCfg.Trace = nil
+	baseCfg.Metrics = nil
 	base, err := runner.Run(baseCfg)
 	if err != nil {
 		return err
@@ -162,12 +194,12 @@ func run(modelName, framework, arch, transport, policy string,
 		res.UpStats.SubsStarted+res.DownStats.SubsStarted,
 		res.UpStats.Preemptions+res.DownStats.Preemptions)
 
-	if gantt {
+	if o.Gantt {
 		fmt.Println()
 		fmt.Print(rec.Gantt(100))
 	}
-	if chromeOut != "" {
-		f, err := os.Create(chromeOut)
+	if o.ChromeOut != "" {
+		f, err := os.Create(o.ChromeOut)
 		if err != nil {
 			return err
 		}
@@ -175,7 +207,41 @@ func run(modelName, framework, arch, transport, policy string,
 		if err := rec.WriteChromeTrace(f); err != nil {
 			return err
 		}
-		fmt.Printf("wrote Chrome trace to %s\n", chromeOut)
+		fmt.Printf("wrote Chrome trace to %s\n", o.ChromeOut)
+	}
+	if o.Metrics {
+		fmt.Println()
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if o.HTTP != "" {
+		return serveMetrics(o, reg)
 	}
 	return nil
+}
+
+// serveMetrics exposes the run's metrics and the Go profiler over HTTP:
+// /metrics in the Prometheus text format, /debug/pprof/* from
+// net/http/pprof. It blocks in http.Serve unless a test hook is installed.
+func serveMetrics(o options, reg *metrics.Registry) error {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", o.HTTP)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving /metrics and /debug/pprof on http://%s\n", ln.Addr())
+	if o.serveStarted != nil {
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln) //nolint:errcheck // shut down by the test via the listener
+		o.serveStarted(ln.Addr().String())
+		return nil
+	}
+	return http.Serve(ln, mux)
 }

@@ -1,42 +1,29 @@
 package main
 
 import (
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
-// runDefaults calls run with sensible small-experiment arguments,
-// overridden per test.
-type args struct {
-	model, framework, arch, transport, policy string
-	bw, partMB, creditMB                      float64
-	gpus, iters, warmup, tuneN                int
-	seed                                      int64
-	jitter                                    float64
-	async, gantt                              bool
-	chromeOut                                 string
-}
-
-func defaults() args {
-	return args{
-		model: "VGG16", framework: "mxnet", arch: "ps", transport: "rdma",
-		policy: "bytescheduler", bw: 100, partMB: 2, creditMB: 8,
-		gpus: 8, iters: 6, warmup: 1, seed: 1,
+// defaults returns run options for a small, fast experiment, overridden per
+// test.
+func defaults() options {
+	return options{
+		Model: "VGG16", Framework: "mxnet", Arch: "ps", Transport: "rdma",
+		Policy: "bytescheduler", BW: 100, PartMB: 2, CreditMB: 8,
+		GPUs: 8, Iters: 6, Warmup: 1, Seed: 1,
 	}
-}
-
-func (a args) run() error {
-	return run(a.model, a.framework, a.arch, a.transport, a.policy,
-		a.bw, a.partMB, a.creditMB, a.gpus, a.iters, a.warmup, a.tuneN,
-		a.seed, a.jitter, a.async, a.gantt, a.chromeOut)
 }
 
 func TestRunPolicies(t *testing.T) {
 	for _, policy := range []string{"fifo", "p3", "tictac", "bytescheduler", "bs"} {
-		a := defaults()
-		a.policy = policy
-		if err := a.run(); err != nil {
+		o := defaults()
+		o.Policy = policy
+		if err := run(o); err != nil {
 			t.Errorf("policy %s: %v", policy, err)
 		}
 	}
@@ -44,36 +31,36 @@ func TestRunPolicies(t *testing.T) {
 
 func TestRunArchAndTransportAliases(t *testing.T) {
 	for _, arch := range []string{"ps", "nccl", "allreduce", "all-reduce"} {
-		a := defaults()
-		a.arch = arch
-		if err := a.run(); err != nil {
+		o := defaults()
+		o.Arch = arch
+		if err := run(o); err != nil {
 			t.Errorf("arch %s: %v", arch, err)
 		}
 	}
-	a := defaults()
-	a.transport = "tcp"
-	a.framework = "pytorch"
-	a.arch = "nccl"
-	if err := a.run(); err != nil {
+	o := defaults()
+	o.Transport = "tcp"
+	o.Framework = "pytorch"
+	o.Arch = "nccl"
+	if err := run(o); err != nil {
 		t.Errorf("pytorch nccl tcp: %v", err)
 	}
 }
 
 func TestRunTune(t *testing.T) {
-	a := defaults()
-	a.tuneN = 4
-	if err := a.run(); err != nil {
+	o := defaults()
+	o.TuneN = 4
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunGanttAndChromeTrace(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "trace.json")
-	a := defaults()
-	a.iters = 3
-	a.gantt = true
-	a.chromeOut = out
-	if err := a.run(); err != nil {
+	o := defaults()
+	o.Iters = 3
+	o.Gantt = true
+	o.ChromeOut = out
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -85,18 +72,64 @@ func TestRunGanttAndChromeTrace(t *testing.T) {
 	}
 }
 
+func TestRunMetricsFlag(t *testing.T) {
+	o := defaults()
+	o.Iters = 3
+	o.Metrics = true
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunHTTPMetricsEndpoint(t *testing.T) {
+	o := defaults()
+	o.Iters = 3
+	o.HTTP = "127.0.0.1:0"
+	var addr string
+	o.serveStarted = func(a string) { addr = a }
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		t.Fatal("server never started")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "core_subs_started_total") {
+		t.Fatalf("/metrics missing scheduler counters:\n%s", body)
+	}
+	if !strings.Contains(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("Content-Type = %q", resp.Header.Get("Content-Type"))
+	}
+	pp, err := http.Get("http://" + addr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status = %d", pp.StatusCode)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	for name, mutate := range map[string]func(*args){
-		"model":     func(a *args) { a.model = "LeNet-0" },
-		"framework": func(a *args) { a.framework = "caffe" },
-		"arch":      func(a *args) { a.arch = "mesh" },
-		"transport": func(a *args) { a.transport = "roce9" },
-		"policy":    func(a *args) { a.policy = "lifo" },
-		"gpus":      func(a *args) { a.gpus = 3 },
+	for name, mutate := range map[string]func(*options){
+		"model":     func(o *options) { o.Model = "LeNet-0" },
+		"framework": func(o *options) { o.Framework = "caffe" },
+		"arch":      func(o *options) { o.Arch = "mesh" },
+		"transport": func(o *options) { o.Transport = "roce9" },
+		"policy":    func(o *options) { o.Policy = "lifo" },
+		"gpus":      func(o *options) { o.GPUs = 3 },
 	} {
-		a := defaults()
-		mutate(&a)
-		if err := a.run(); err == nil {
+		o := defaults()
+		mutate(&o)
+		if err := run(o); err == nil {
 			t.Errorf("%s: invalid value accepted", name)
 		}
 	}

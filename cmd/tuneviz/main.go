@@ -1,6 +1,12 @@
 // Command tuneviz walks through the paper's auto-tuning machinery: it
 // reproduces the Figure 9 Bayesian-Optimization posterior (with a crude
 // terminal plot) and the Figure 14 search-cost comparison.
+//
+// With -sim-trace and -live-trace it instead overlays two Chrome trace
+// recordings — one from a simulated run (bytesched -chrome-trace), one from
+// a live scheduler (TraceRecorder.WriteChromeTrace) — on a shared timebase:
+//
+//	tuneviz -sim-trace sim.json -live-trace live.json
 package main
 
 import (
@@ -15,10 +21,24 @@ import (
 
 func main() {
 	var (
-		seed = flag.Int64("seed", 1, "random seed")
-		full = flag.Bool("full", false, "full-size Figure 14 comparison")
+		seed      = flag.Int64("seed", 1, "random seed")
+		full      = flag.Bool("full", false, "full-size Figure 14 comparison")
+		simTrace  = flag.String("sim-trace", "", "Chrome trace JSON from a simulated run")
+		liveTrace = flag.String("live-trace", "", "Chrome trace JSON from a live run")
+		width     = flag.Int("width", 100, "overlay chart width in columns")
 	)
 	flag.Parse()
+
+	if *simTrace != "" || *liveTrace != "" {
+		out, err := runOverlay(*simTrace, *liveTrace, *width)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tuneviz:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
+
 	opts := experiments.Opts{Quick: !*full, Seed: *seed}
 
 	fig9, err := experiments.Fig09BOPosterior(opts)

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"bytescheduler/internal/trace"
+)
+
+// runOverlay loads a simulated and a live Chrome trace and renders them on
+// one shared timebase — the visual check that a live deployment's schedule
+// matches what the simulator predicted for the same workload. Both files
+// come from the same WriteChromeTrace schema (bytesched -chrome-trace for
+// sim, TraceRecorder.WriteChromeTrace for live), so either side loads with
+// the same reader.
+func runOverlay(simPath, livePath string, width int) (string, error) {
+	if simPath == "" || livePath == "" {
+		return "", fmt.Errorf("overlay needs both -sim-trace and -live-trace")
+	}
+	simRec, err := loadTrace(simPath)
+	if err != nil {
+		return "", fmt.Errorf("sim trace %s: %w", simPath, err)
+	}
+	liveRec, err := loadTrace(livePath)
+	if err != nil {
+		return "", fmt.Errorf("live trace %s: %w", livePath, err)
+	}
+	return overlay(simRec, liveRec, width), nil
+}
+
+// loadTrace reads a Chrome trace-event JSON file back into a recorder.
+func loadTrace(path string) (*trace.Recorder, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.ReadChromeTrace(f)
+}
+
+// overlay renders the two recordings as stacked Gantt charts sharing one
+// time axis (0 .. the later of the two horizons), followed by per-lane
+// busy-time statistics. A shared axis matters: scaling each trace to its
+// own extent would hide exactly the discrepancy the overlay exists to show.
+func overlay(simRec, liveRec *trace.Recorder, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	horizon := traceHorizon(simRec)
+	if lh := traceHorizon(liveRec); lh > horizon {
+		horizon = lh
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "shared timebase: 0 .. %.4gs\n", horizon)
+	renderSection(&b, "sim", simRec, horizon, width)
+	renderSection(&b, "live", liveRec, horizon, width)
+	return b.String()
+}
+
+// traceHorizon returns the latest span end in the recording.
+func traceHorizon(rec *trace.Recorder) float64 {
+	var h float64
+	for _, s := range rec.Spans() {
+		if s.End > h {
+			h = s.End
+		}
+	}
+	return h
+}
+
+// renderSection draws one trace's lanes against the shared horizon, one row
+// per lane, with busy seconds and utilization per row.
+func renderSection(b *strings.Builder, label string, rec *trace.Recorder, horizon float64, width int) {
+	fmt.Fprintf(b, "\n=== %s: %d spans, %d lanes ===\n", label, rec.Len(), len(rec.Lanes()))
+	if rec.Len() == 0 || horizon <= 0 {
+		b.WriteString("(empty trace)\n")
+		return
+	}
+	byLane := make(map[string][]trace.Span)
+	for _, s := range rec.Spans() {
+		byLane[s.Lane] = append(byLane[s.Lane], s)
+	}
+	nameW := 0
+	for _, lane := range rec.Lanes() {
+		if len(lane) > nameW {
+			nameW = len(lane)
+		}
+	}
+	for _, lane := range rec.Lanes() {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		var busy float64
+		for _, s := range byLane[lane] {
+			busy += s.Duration()
+			lo := int(s.Start / horizon * float64(width))
+			hi := int(s.End/horizon*float64(width) + 0.9999)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = '#'
+			}
+		}
+		fmt.Fprintf(b, "%-*s |%s| %.4gs %4.0f%%\n",
+			nameW, lane, row, busy, busy/horizon*100)
+	}
+}

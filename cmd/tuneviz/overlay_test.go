@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bytescheduler/internal/trace"
+)
+
+func writeTrace(t *testing.T, path string, build func(r *trace.Recorder)) {
+	t.Helper()
+	r := trace.New()
+	build(r)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := r.WriteChromeTrace(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOverlay(t *testing.T) {
+	dir := t.TempDir()
+	simPath := filepath.Join(dir, "sim.json")
+	livePath := filepath.Join(dir, "live.json")
+	writeTrace(t, simPath, func(r *trace.Recorder) {
+		r.Add("worker0/gpu", "fp0", 0, 0.4)
+		r.Add("worker0/net", "push L00", 0.4, 1.0)
+	})
+	writeTrace(t, livePath, func(r *trace.Recorder) {
+		r.Add("core/L00", "grad[1/2]", 0.1, 0.9)
+		r.Add("netps/c1", "push k0#1", 0.9, 2.0) // longer horizon than sim
+	})
+	out, err := runOverlay(simPath, livePath, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"shared timebase: 0 .. 2s",
+		"=== sim: 2 spans, 2 lanes ===",
+		"=== live: 2 spans, 2 lanes ===",
+		"worker0/gpu", "worker0/net", "core/L00", "netps/c1", "#",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("overlay missing %q:\n%s", want, out)
+		}
+	}
+	// The sim trace stops at t=1 on a horizon of 2: its lanes must show
+	// under 100% utilization while the live netps lane covers the tail.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "worker0/gpu") && !strings.Contains(line, "20%") {
+			t.Errorf("worker0/gpu utilization on shared timebase: %s", line)
+		}
+	}
+}
+
+func TestRunOverlayErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	writeTrace(t, good, func(r *trace.Recorder) { r.Add("l", "s", 0, 1) })
+	if _, err := runOverlay("", good, 80); err == nil {
+		t.Fatal("missing sim path accepted")
+	}
+	if _, err := runOverlay(good, "", 80); err == nil {
+		t.Fatal("missing live path accepted")
+	}
+	if _, err := runOverlay(good, filepath.Join(dir, "absent.json"), 80); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runOverlay(good, bad, 80); err == nil {
+		t.Fatal("malformed trace accepted")
+	}
+}
+
+func TestOverlayEmpty(t *testing.T) {
+	out := overlay(trace.New(), trace.New(), 10)
+	if !strings.Contains(out, "(empty trace)") {
+		t.Fatalf("empty overlay:\n%s", out)
+	}
+}

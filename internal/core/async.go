@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"bytescheduler/internal/metrics"
+	"bytescheduler/internal/trace"
 )
 
 // ErrShutdown is returned by AsyncScheduler methods after Shutdown.
@@ -104,12 +107,29 @@ func (a *AsyncScheduler) NotifyReady(t *Task) error {
 	return nil
 }
 
-// Stats snapshots the underlying counters.
-func (a *AsyncScheduler) Stats() Stats {
+// Instrument attaches a metrics registry to the underlying scheduler (see
+// Scheduler.Instrument); nil detaches. Safe to call between turns of work.
+func (a *AsyncScheduler) Instrument(reg *metrics.Registry) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.s.Stats()
+	a.s.Instrument(reg)
 }
+
+// SetTracer attaches a wall-clock span tracer to the underlying scheduler
+// (see Scheduler.SetTracer); nil detaches.
+func (a *AsyncScheduler) SetTracer(w *trace.Wall) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.s.SetTracer(w)
+}
+
+// Stats snapshots the underlying counters. The counters are atomics, so no
+// lock is needed: scrapers can read mid-run without contending with the
+// scheduler.
+func (a *AsyncScheduler) Stats() Stats { return a.s.Snapshot() }
+
+// Snapshot is an alias of Stats, mirroring Scheduler.Snapshot.
+func (a *AsyncScheduler) Snapshot() Stats { return a.s.Snapshot() }
 
 // Drained reports whether nothing is queued or in flight.
 func (a *AsyncScheduler) Drained() bool {

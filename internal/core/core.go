@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"bytescheduler/internal/tensor"
+	"bytescheduler/internal/trace"
 )
 
 // PriorityFn maps a tensor and its arrival sequence to a priority; lower
@@ -225,7 +226,11 @@ func (q *priorityQueue) Pop() any {
 	return it
 }
 
-// Stats are scheduler counters for analysis and tests.
+// Stats are scheduler counters for analysis and tests. Obtain them through
+// Snapshot (or the equivalent Stats method): the scheduler mutates its
+// counters while it runs, and the snapshot reads each field atomically so
+// concurrent consumers (benchsuite, runner, metric scrapers) never observe
+// torn values.
 type Stats struct {
 	// TasksEnqueued counts Enqueue calls.
 	TasksEnqueued uint64
@@ -262,8 +267,13 @@ type Scheduler struct {
 	limited       bool
 	inflight      int
 	inflightBytes int64
-	stats         Stats
+	stats         statsCell
 	scheduling    bool
+
+	// inst holds resolved metric handles (all nil when uninstrumented);
+	// tracer, when non-nil, records wall-clock partition spans.
+	inst   instruments
+	tracer *trace.Wall
 
 	// spawn, when non-nil, runs a partition's Start call (AsyncScheduler
 	// installs a goroutine launcher; the simulator runs inline).
@@ -305,8 +315,12 @@ func New(policy Policy) *Scheduler {
 // Policy returns the scheduler's policy.
 func (s *Scheduler) Policy() Policy { return s.policy }
 
-// Stats returns a snapshot of the scheduler counters.
-func (s *Scheduler) Stats() Stats { return s.stats }
+// Snapshot returns an atomically read copy of the scheduler counters; it
+// is safe to call from any goroutine while the scheduler runs.
+func (s *Scheduler) Snapshot() Stats { return s.stats.Snapshot() }
+
+// Stats returns a snapshot of the scheduler counters (alias of Snapshot).
+func (s *Scheduler) Stats() Stats { return s.Snapshot() }
 
 // Pending returns the number of ready partitions waiting in the queue.
 func (s *Scheduler) Pending() int { return len(s.queue) }
@@ -343,7 +357,8 @@ func (s *Scheduler) Enqueue(t *Task) {
 	}
 	t.subs = tensor.Partition(t.Tensor, unit)
 	t.remaining = len(t.subs)
-	s.stats.TasksEnqueued++
+	s.stats.tasksEnqueued.Add(1)
+	s.inst.tasksEnqueued.Inc()
 }
 
 // SetPartitionUnit changes the partition size for tasks enqueued from now
@@ -402,9 +417,8 @@ func (s *Scheduler) NotifyReady(t *Task) {
 		heap.Push(&s.queue, it)
 		heap.Push(&s.arrivals, it)
 	}
-	if len(s.queue) > s.stats.MaxQueueLen {
-		s.stats.MaxQueueLen = len(s.queue)
-	}
+	setMax(&s.stats.maxQueueLen, int64(len(s.queue)))
+	s.inst.queueDepth.Set(int64(len(s.queue)))
 	s.schedule()
 }
 
@@ -435,36 +449,43 @@ func (s *Scheduler) start(it *queueItem) {
 		heap.Pop(&s.arrivals)
 	}
 	if len(s.arrivals) > 0 && s.arrivals[0].seq < it.seq {
-		s.stats.Preemptions++
+		s.stats.preemptions.Add(1)
+		s.inst.preemptions.Inc()
 	}
 	if s.limited {
 		s.credit -= it.sub.Bytes
 	}
 	s.inflight++
 	s.inflightBytes += it.sub.Bytes
-	if s.inflightBytes > s.stats.MaxInflightBytes {
-		s.stats.MaxInflightBytes = s.inflightBytes
-	}
-	s.stats.SubsStarted++
+	setMax(&s.stats.maxInflightBytes, s.inflightBytes)
+	s.stats.subsStarted.Add(1)
+	s.inst.subsStarted.Inc()
+	s.observeGauges()
 	task := it.task
 	sub := it.sub
+	endSpan := s.beginSpan(sub)
 	finished := false
 	complete := func(err error) {
 		if finished {
 			panic(fmt.Sprintf("core: done called twice for %s", sub))
 		}
 		finished = true
+		if endSpan != nil {
+			endSpan()
+		}
 		if s.limited {
 			s.credit += sub.Bytes
 		}
 		s.inflight--
 		s.inflightBytes -= sub.Bytes
+		s.observeGauges()
 		if err != nil {
 			s.fail(it, err)
 			s.schedule()
 			return
 		}
-		s.stats.SubsFinished++
+		s.stats.subsFinished.Add(1)
+		s.inst.subsFinished.Inc()
 		task.remaining--
 		if task.remaining == 0 && task.OnFinished != nil {
 			task.OnFinished()
@@ -493,7 +514,8 @@ func (s *Scheduler) fail(it *queueItem, err error) {
 	task := it.task
 	if it.attempts < s.policy.MaxRetries {
 		it.attempts++
-		s.stats.Retries++
+		s.stats.retries.Add(1)
+		s.inst.retries.Inc()
 		s.seq++
 		prio := int64(s.seq)
 		if s.policy.Priority != nil {
@@ -502,12 +524,12 @@ func (s *Scheduler) fail(it *queueItem, err error) {
 		re := &queueItem{sub: it.sub, task: task, prio: prio, seq: s.seq, attempts: it.attempts}
 		heap.Push(&s.queue, re)
 		heap.Push(&s.arrivals, re)
-		if len(s.queue) > s.stats.MaxQueueLen {
-			s.stats.MaxQueueLen = len(s.queue)
-		}
+		setMax(&s.stats.maxQueueLen, int64(len(s.queue)))
+		s.inst.queueDepth.Set(int64(len(s.queue)))
 		return
 	}
-	s.stats.Failures++
+	s.stats.failures.Add(1)
+	s.inst.failures.Inc()
 	if task.err == nil {
 		task.err = err
 	}

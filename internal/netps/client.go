@@ -7,7 +7,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bytescheduler/internal/metrics"
 	"bytescheduler/internal/stats"
+	"bytescheduler/internal/trace"
 )
 
 // Default client hardening knobs; override with Options.
@@ -70,6 +72,51 @@ func WithSeed(seed int64) Option { return func(c *Client) { c.rng = stats.NewRNG
 // deduplication never conflates two workers' pushes.
 func WithClientID(id uint32) Option { return func(c *Client) { c.id = id } }
 
+// WithMetrics instruments the client against the given registry: request
+// latency histograms (netps_push_seconds, netps_pull_seconds), retry /
+// redial / server-rejection counters, byte counters, and an in-flight
+// request gauge.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(c *Client) {
+		if reg == nil {
+			c.inst = clientInstruments{}
+			return
+		}
+		c.inst = clientInstruments{
+			pushSeconds:  reg.Histogram("netps_push_seconds"),
+			pullSeconds:  reg.Histogram("netps_pull_seconds"),
+			requests:     reg.Counter("netps_requests_total"),
+			retries:      reg.Counter("netps_retries_total"),
+			redials:      reg.Counter("netps_redials_total"),
+			serverErrors: reg.Counter("netps_server_errors_total"),
+			failures:     reg.Counter("netps_transport_failures_total"),
+			bytesPushed:  reg.Counter("netps_pushed_bytes_total"),
+			bytesPulled:  reg.Counter("netps_pulled_bytes_total"),
+			inflight:     reg.Gauge("netps_inflight_requests"),
+		}
+	}
+}
+
+// WithTracer records every request as a wall-clock span on the
+// "netps/c<id>" lane — the live counterpart of the simulator's fabric
+// trace, in the same Chrome-trace schema.
+func WithTracer(w *trace.Wall) Option { return func(c *Client) { c.tracer = w } }
+
+// clientInstruments are the client's resolved metric handles; all nil (and
+// therefore no-ops) unless WithMetrics attached a registry.
+type clientInstruments struct {
+	pushSeconds  *metrics.Histogram
+	pullSeconds  *metrics.Histogram
+	requests     *metrics.Counter
+	retries      *metrics.Counter
+	redials      *metrics.Counter
+	serverErrors *metrics.Counter
+	failures     *metrics.Counter
+	bytesPushed  *metrics.Counter
+	bytesPulled  *metrics.Counter
+	inflight     *metrics.Gauge
+}
+
 // Client is one worker's connection pool to a PS shard. Each in-flight
 // request uses its own connection (the scheduler above bounds concurrency
 // via credit), so pulls blocked on aggregation never head-of-line block
@@ -91,6 +138,8 @@ type Client struct {
 	backoffMax  time.Duration
 	id          uint32
 	seq         atomic.Uint32
+	inst        clientInstruments
+	tracer      *trace.Wall
 
 	mu     sync.Mutex
 	rng    *stats.RNG
@@ -222,13 +271,67 @@ func (c *Client) exchange(conn net.Conn, req message) (message, error) {
 	return resp, nil
 }
 
+// opName labels an op for spans and error text.
+func opName(op Op) string {
+	switch op {
+	case OpPush:
+		return "push"
+	case OpPull:
+		return "pull"
+	default:
+		return fmt.Sprintf("op%d", op)
+	}
+}
+
 // roundTrip sends one request and reads its response, retrying transport
 // failures under the backoff policy. The request Seq is stable across
 // retries so the server deduplicates replays. Server rejections (OpErr)
 // and response mismatches are returned immediately — they are decisions,
 // not transport faults.
+//
+// Every round trip is observed: one latency histogram sample per logical
+// request (retries included in its duration), retry/redial/rejection
+// counters, byte counters, an in-flight gauge, and — when a tracer is
+// attached — one wall-clock span on the client's lane covering the whole
+// logical request.
 func (c *Client) roundTrip(req message) (message, error) {
 	req.Seq = c.nextSeq()
+	c.inst.requests.Inc()
+	c.inst.inflight.Inc()
+	start := time.Now()
+	resp, err := c.attempt(req)
+	elapsed := time.Since(start)
+	c.inst.inflight.Dec()
+	if c.tracer != nil {
+		c.tracer.Add(fmt.Sprintf("netps/c%d", c.id),
+			fmt.Sprintf("%s %s#%d", opName(req.Op), req.Key, req.Iter),
+			start, start.Add(elapsed))
+	}
+	switch {
+	case err == nil:
+		switch req.Op {
+		case OpPush:
+			c.inst.pushSeconds.Observe(elapsed.Seconds())
+			c.inst.bytesPushed.Add(uint64(len(req.Payload)))
+		case OpPull:
+			c.inst.pullSeconds.Observe(elapsed.Seconds())
+			c.inst.bytesPulled.Add(uint64(len(resp.Payload)))
+		}
+	case isServerError(err):
+		c.inst.serverErrors.Inc()
+	default:
+		c.inst.failures.Inc()
+	}
+	return resp, err
+}
+
+func isServerError(err error) bool {
+	_, ok := err.(*ServerError)
+	return ok
+}
+
+// attempt runs the retry loop for one logical request.
+func (c *Client) attempt(req message) (message, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		conn, reused, err := c.conn()
@@ -238,19 +341,20 @@ func (c *Client) roundTrip(req message) (message, error) {
 			if err == nil {
 				return resp, nil
 			}
-			if _, rejected := err.(*ServerError); rejected {
+			if isServerError(err) {
 				return message{}, err
 			}
 			if reused {
 				// Stale pooled connection: the server closed it while it
 				// sat idle, so the request was never processed. Replay
 				// immediately on a fresh dial, free of retry budget.
+				c.inst.redials.Inc()
 				if fresh, derr := c.dial(); derr == nil {
 					resp, err = c.exchange(fresh, req)
 					if err == nil {
 						return resp, nil
 					}
-					if _, rejected := err.(*ServerError); rejected {
+					if isServerError(err) {
 						return message{}, err
 					}
 				} else {
@@ -262,6 +366,7 @@ func (c *Client) roundTrip(req message) (message, error) {
 		if attempt >= c.maxRetries || c.isClosed() {
 			return message{}, lastErr
 		}
+		c.inst.retries.Inc()
 		c.backoff(attempt)
 	}
 }

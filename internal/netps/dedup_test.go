@@ -1,0 +1,151 @@
+package netps
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"bytescheduler/internal/metrics"
+)
+
+// TestDedupWindowBounded replays far more distinct pushes than the dedup
+// window holds and checks the table stays bounded — the regression for the
+// unbounded Seq-dedup growth that used to leak memory for the lifetime of
+// a training run.
+func TestDedupWindowBounded(t *testing.T) {
+	const cap = 16
+	reg := metrics.NewRegistry()
+	srv, err := NewServer(1, WithDedupCap(cap), WithServerMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(addr)
+	defer c.Close()
+	const pushes = 100
+	for i := 0; i < pushes; i++ {
+		if err := c.Push(fmt.Sprintf("k%d", i), 0, []float32{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv.DedupSize(); got != cap {
+		t.Fatalf("DedupSize = %d after %d pushes, want window cap %d", got, pushes, cap)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["netps_server_dedup_evictions_total"]; got != pushes-cap {
+		t.Fatalf("evictions = %d, want %d", got, pushes-cap)
+	}
+	if got := snap.Gauges["netps_server_dedup_seqs"]; got != cap {
+		t.Fatalf("dedup_seqs gauge = %d, want %d", got, cap)
+	}
+	if got := snap.Counters["netps_server_pushes_total"]; got != pushes {
+		t.Fatalf("pushes counter = %d, want %d", got, pushes)
+	}
+}
+
+// TestDedupClientWindowsBounded sprays pushes from more distinct client
+// identities than the server tracks; the LRU client eviction must bound
+// the table even when no single window fills.
+func TestDedupClientWindowsBounded(t *testing.T) {
+	srv, err := NewServer(1, WithDedupCap(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	const clients = DefaultDedupClients + 44
+	for i := 1; i <= clients; i++ {
+		push := message{
+			Op:      OpPush,
+			Key:     fmt.Sprintf("k%d", i),
+			Iter:    0,
+			Seq:     uint64(i)<<32 | 1,
+			Payload: Encode([]float32{1}),
+		}
+		if err := writeMessage(conn, push); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readMessage(conn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One Seq per client: the surviving window count equals the total size.
+	if got := srv.DedupSize(); got != DefaultDedupClients {
+		t.Fatalf("DedupSize = %d across %d clients, want LRU bound %d",
+			got, clients, DefaultDedupClients)
+	}
+}
+
+// TestPushReplayAcksWithoutDoubleSum replays a push with the same Seq (a
+// retry after a lost ack) and checks the aggregate counts it exactly once
+// while the replay is still acknowledged.
+func TestPushReplayAcksWithoutDoubleSum(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv, err := NewServer(2, WithServerMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	seq := uint64(7)<<32 | 1
+	push := message{Op: OpPush, Key: "w", Iter: 3, Seq: seq, Payload: Encode([]float32{2})}
+	for attempt := 0; attempt < 2; attempt++ { // original + replay
+		if err := writeMessage(conn, push); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := readMessage(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Op != OpPush || resp.Seq != seq {
+			t.Fatalf("attempt %d response: %+v", attempt, resp)
+		}
+	}
+	// Second worker's push completes the aggregate.
+	push2 := message{Op: OpPush, Key: "w", Iter: 3, Seq: uint64(8)<<32 | 1, Payload: Encode([]float32{5})}
+	if err := writeMessage(conn, push2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readMessage(conn); err != nil {
+		t.Fatal(err)
+	}
+	pull := message{Op: OpPull, Key: "w", Iter: 3, Seq: uint64(7)<<32 | 2}
+	if err := writeMessage(conn, pull); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := readMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := Decode(resp.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 1 || vals[0] != 7 {
+		t.Fatalf("aggregate = %v, want [7] (replayed push summed twice?)", vals)
+	}
+	if got := reg.Snapshot().Counters["netps_server_dedup_hits_total"]; got != 1 {
+		t.Fatalf("dedup hits = %d, want 1", got)
+	}
+}

@@ -7,10 +7,25 @@ import (
 	"math"
 	"net"
 	"sync"
+
+	"bytescheduler/internal/metrics"
 )
 
 // errServerClosed is the error text sent to pull waiters failed by Close.
 const errServerClosed = "server closed"
+
+// DefaultDedupCap bounds the per-client push-dedup window: how many recent
+// request Seqs the server remembers per client. Credit bounds how many
+// requests a worker can have outstanding, so a window of a few thousand is
+// far beyond any replay horizon while keeping memory O(clients · cap)
+// instead of growing without bound across long runs and reconnects.
+const DefaultDedupCap = 4096
+
+// DefaultDedupClients bounds how many distinct client identities the
+// dedup table tracks; least-recently-active clients are evicted first.
+// Reconnecting workers mint fresh client IDs, so without this bound a
+// long-lived server would accrete one window per client generation.
+const DefaultDedupClients = 256
 
 // Server is a single-shard parameter server: it sums fp32 payloads pushed
 // by Workers distinct workers per (key, iteration) and answers pulls once
@@ -24,14 +39,23 @@ const errServerClosed = "server closed"
 // them — a crashed or drained shard surfaces as an error at the worker,
 // never as a hang.
 type Server struct {
-	workers int
+	workers      int
+	dedupCap     int
+	dedupClients int
+	inst         serverInstruments
 
 	mu      sync.Mutex
 	entries map[entryKey]*entry
-	ln      net.Listener
-	conns   map[net.Conn]struct{}
-	wg      sync.WaitGroup
-	closed  bool
+	// dedup holds one bounded window of recently seen push Seqs per client
+	// (the high 32 bits of every Seq identify the client). Client Seqs are
+	// monotonic, so FIFO eviction within a window prunes the lowest live
+	// Seqs first — watermark semantics with an LRU bound.
+	dedup    map[uint32]*seqWindow
+	dedupUse uint64 // logical clock for client-window LRU eviction
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   bool
 }
 
 type entryKey struct {
@@ -42,28 +66,172 @@ type entryKey struct {
 type entry struct {
 	sum    []float32
 	pushes int
-	// pushSeen deduplicates replayed pushes: a client retries with the
-	// same Seq, and gradient sums are not idempotent.
-	pushSeen map[uint64]struct{}
 	// pullSeen records which logical pulls were already counted as served,
 	// so a retried pull is re-answered without double-counting toward
-	// entry reclamation.
+	// entry reclamation. Bounded by the entry's own lifecycle: the entry
+	// is reclaimed once every worker's pull has been served.
 	pullSeen map[uint64]struct{}
 	waiters  []chan []byte
 	served   int
 }
 
+// seqWindow is a bounded set of recently seen Seqs: a hash set for O(1)
+// membership plus a FIFO ring recording insertion order for eviction.
+type seqWindow struct {
+	seen    map[uint64]struct{}
+	order   []uint64
+	head    int
+	lastUse uint64
+}
+
+func (w *seqWindow) has(seq uint64) bool {
+	_, ok := w.seen[seq]
+	return ok
+}
+
+// add inserts seq, evicting the oldest remembered Seq when the window is
+// at capacity. Reports whether an eviction happened.
+func (w *seqWindow) add(seq uint64, capacity int) (evicted bool) {
+	if w.has(seq) {
+		return false
+	}
+	if len(w.order) < capacity {
+		w.order = append(w.order, seq)
+		w.seen[seq] = struct{}{}
+		return false
+	}
+	old := w.order[w.head]
+	delete(w.seen, old)
+	w.order[w.head] = seq
+	w.head = (w.head + 1) % capacity
+	w.seen[seq] = struct{}{}
+	return true
+}
+
+// serverInstruments are the server's resolved metric handles; all nil
+// (no-ops) unless WithServerMetrics attached a registry.
+type serverInstruments struct {
+	pushes         *metrics.Counter
+	pulls          *metrics.Counter
+	dedupHits      *metrics.Counter
+	dedupEvictions *metrics.Counter
+	rejects        *metrics.Counter
+	entries        *metrics.Gauge
+	conns          *metrics.Gauge
+	dedupSize      *metrics.Gauge
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithServerMetrics instruments the server against the given registry:
+// push/pull counters, dedup hit and eviction counters, rejection counter,
+// and gauges for live entries, open connections and dedup table size.
+func WithServerMetrics(reg *metrics.Registry) ServerOption {
+	return func(s *Server) {
+		if reg == nil {
+			s.inst = serverInstruments{}
+			return
+		}
+		s.inst = serverInstruments{
+			pushes:         reg.Counter("netps_server_pushes_total"),
+			pulls:          reg.Counter("netps_server_pulls_total"),
+			dedupHits:      reg.Counter("netps_server_dedup_hits_total"),
+			dedupEvictions: reg.Counter("netps_server_dedup_evictions_total"),
+			rejects:        reg.Counter("netps_server_rejects_total"),
+			entries:        reg.Gauge("netps_server_entries"),
+			conns:          reg.Gauge("netps_server_conns"),
+			dedupSize:      reg.Gauge("netps_server_dedup_seqs"),
+		}
+	}
+}
+
+// WithDedupCap overrides the per-client push-dedup window size
+// (DefaultDedupCap). Larger windows tolerate longer replay horizons;
+// smaller windows bound memory tighter.
+func WithDedupCap(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.dedupCap = n
+		}
+	}
+}
+
 // NewServer creates a server expecting the given number of workers per key
 // per iteration.
-func NewServer(workers int) (*Server, error) {
+func NewServer(workers int, opts ...ServerOption) (*Server, error) {
 	if workers <= 0 {
 		return nil, fmt.Errorf("netps: need at least one worker, got %d", workers)
 	}
-	return &Server{
-		workers: workers,
-		entries: make(map[entryKey]*entry),
-		conns:   make(map[net.Conn]struct{}),
-	}, nil
+	s := &Server{
+		workers:      workers,
+		dedupCap:     DefaultDedupCap,
+		dedupClients: DefaultDedupClients,
+		entries:      make(map[entryKey]*entry),
+		dedup:        make(map[uint32]*seqWindow),
+		conns:        make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// dupPush reports whether seq was already summed. Caller holds s.mu.
+func (s *Server) dupPush(seq uint64) bool {
+	w, ok := s.dedup[uint32(seq>>32)]
+	if !ok {
+		return false
+	}
+	s.dedupUse++
+	w.lastUse = s.dedupUse
+	return w.has(seq)
+}
+
+// recordPush remembers seq for replay deduplication, bounding both the
+// per-client window and the number of tracked clients. Caller holds s.mu.
+func (s *Server) recordPush(seq uint64) {
+	client := uint32(seq >> 32)
+	w, ok := s.dedup[client]
+	if !ok {
+		if len(s.dedup) >= s.dedupClients {
+			// Evict the least-recently-active client's window whole: its
+			// requests are the least likely to still be replayed.
+			var lruID uint32
+			var lru *seqWindow
+			for id, cand := range s.dedup {
+				if lru == nil || cand.lastUse < lru.lastUse {
+					lruID, lru = id, cand
+				}
+			}
+			delete(s.dedup, lruID)
+			s.inst.dedupEvictions.Add(uint64(len(lru.order)))
+		}
+		w = &seqWindow{seen: make(map[uint64]struct{})}
+		s.dedup[client] = w
+	}
+	s.dedupUse++
+	w.lastUse = s.dedupUse
+	if w.add(seq, s.dedupCap) {
+		s.inst.dedupEvictions.Inc()
+	}
+	s.inst.dedupSize.Set(int64(s.dedupLenLocked()))
+}
+
+func (s *Server) dedupLenLocked() int {
+	n := 0
+	for _, w := range s.dedup {
+		n += len(w.seen)
+	}
+	return n
+}
+
+// DedupSize returns the total number of remembered push Seqs across all
+// client windows — bounded by clients·cap regardless of run length.
+func (s *Server) DedupSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dedupLenLocked()
 }
 
 // Listen binds to addr (e.g. "127.0.0.1:0") and serves connections until
@@ -100,6 +268,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			return
 		}
 		s.conns[conn] = struct{}{}
+		s.inst.conns.Set(int64(len(s.conns)))
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
@@ -107,6 +276,7 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			defer func() {
 				s.mu.Lock()
 				delete(s.conns, conn)
+				s.inst.conns.Set(int64(len(s.conns)))
 				s.mu.Unlock()
 				conn.Close()
 			}()
@@ -146,46 +316,53 @@ func writeErr(conn net.Conn, req message, text string) error {
 	return writeMessage(conn, message{Op: OpErr, Iter: req.Iter, Seq: req.Seq, Key: req.Key, Payload: []byte(text)})
 }
 
+// reject answers with OpErr and counts the rejection.
+func (s *Server) reject(conn net.Conn, req message, text string) error {
+	s.inst.rejects.Inc()
+	return writeErr(conn, req, text)
+}
+
 func (s *Server) handlePush(conn net.Conn, req message) error {
+	s.inst.pushes.Inc()
 	if len(req.Payload)%4 != 0 {
 		// The frame itself was well-formed, so the stream stays in sync:
 		// reject the request but keep the connection.
-		return writeErr(conn, req, "push payload not a float32 vector")
+		return s.reject(conn, req, "push payload not a float32 vector")
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return writeErr(conn, req, errServerClosed)
+		return s.reject(conn, req, errServerClosed)
 	}
-	e := s.entry(entryKey{req.Key, req.Iter})
-	if _, dup := e.pushSeen[req.Seq]; dup && req.Seq != 0 {
+	if req.Seq != 0 && s.dupPush(req.Seq) {
 		// Replayed push (client retried after a lost ack): acknowledge
-		// without summing again.
+		// without summing again. The dedup window lives per client, not
+		// per entry, so a replay arriving after its entry was reclaimed is
+		// still recognized instead of corrupting a fresh aggregate.
 		s.mu.Unlock()
+		s.inst.dedupHits.Inc()
 		return writeMessage(conn, message{Op: OpPush, Iter: req.Iter, Seq: req.Seq, Key: req.Key})
 	}
+	e := s.entry(entryKey{req.Key, req.Iter})
 	if e.sum == nil {
 		e.sum = make([]float32, len(req.Payload)/4)
 	}
 	if len(e.sum)*4 != len(req.Payload) {
 		s.mu.Unlock()
-		return writeErr(conn, req, fmt.Sprintf("push size mismatch for %s", req.Key))
+		return s.reject(conn, req, fmt.Sprintf("push size mismatch for %s", req.Key))
 	}
 	if e.pushes >= s.workers {
 		// More pushes than workers for one (key, iter): a protocol misuse
 		// that would corrupt the aggregate other workers already pulled.
 		s.mu.Unlock()
-		return writeErr(conn, req, fmt.Sprintf("push overflow for %s (all %d workers already pushed)", req.Key, s.workers))
+		return s.reject(conn, req, fmt.Sprintf("push overflow for %s (all %d workers already pushed)", req.Key, s.workers))
 	}
 	for i := range e.sum {
 		bits := binary.BigEndian.Uint32(req.Payload[i*4:])
 		e.sum[i] += math.Float32frombits(bits)
 	}
 	if req.Seq != 0 {
-		if e.pushSeen == nil {
-			e.pushSeen = make(map[uint64]struct{})
-		}
-		e.pushSeen[req.Seq] = struct{}{}
+		s.recordPush(req.Seq)
 	}
 	e.pushes++
 	var wake []chan []byte
@@ -204,11 +381,12 @@ func (s *Server) handlePush(conn net.Conn, req message) error {
 }
 
 func (s *Server) handlePull(conn net.Conn, req message) error {
+	s.inst.pulls.Inc()
 	k := entryKey{req.Key, req.Iter}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return writeErr(conn, req, errServerClosed)
+		return s.reject(conn, req, errServerClosed)
 	}
 	e := s.entry(k)
 	if e.pushes >= s.workers {
@@ -222,7 +400,7 @@ func (s *Server) handlePull(conn net.Conn, req message) error {
 	payload := <-ch
 	if payload == nil {
 		// Woken by Close: fail the pull instead of hanging the worker.
-		return writeErr(conn, req, errServerClosed)
+		return s.reject(conn, req, errServerClosed)
 	}
 	return s.respondPull(conn, req, payload)
 }
@@ -246,6 +424,7 @@ func (s *Server) respondPull(conn net.Conn, req message, payload []byte) error {
 	}
 	if req.Seq != 0 {
 		if _, dup := e.pullSeen[req.Seq]; dup {
+			s.inst.dedupHits.Inc()
 			return nil // retried pull: already counted
 		}
 		if e.pullSeen == nil {
@@ -256,6 +435,7 @@ func (s *Server) respondPull(conn net.Conn, req message, payload []byte) error {
 	e.served++
 	if e.served >= s.workers {
 		delete(s.entries, k)
+		s.inst.entries.Set(int64(len(s.entries)))
 	}
 	return nil
 }
@@ -265,6 +445,7 @@ func (s *Server) entry(k entryKey) *entry {
 	if !ok {
 		e = &entry{}
 		s.entries[k] = e
+		s.inst.entries.Set(int64(len(s.entries)))
 	}
 	return e
 }

@@ -1,0 +1,64 @@
+package runner
+
+import (
+	"strings"
+
+	"bytescheduler/internal/metrics"
+	"bytescheduler/internal/trace"
+)
+
+// publishMetrics pushes one finished run's counters, gauges and span
+// histograms into the registry. The simulator is single-shot — there is no
+// live hot path to instrument incrementally — so the runner publishes at
+// collection time, using the exact metric names the live stack (core,
+// netps) emits incrementally. A dashboard scraping a live trainer and one
+// reading a simulated what-if therefore see the same schema.
+func publishMetrics(reg *metrics.Registry, cfg Config, res Result, rec *trace.Recorder) {
+	if reg == nil {
+		return
+	}
+	stats := addStats(res.UpStats, res.DownStats)
+	reg.Counter("core_tasks_enqueued_total").Add(stats.TasksEnqueued)
+	reg.Counter("core_subs_started_total").Add(stats.SubsStarted)
+	reg.Counter("core_subs_finished_total").Add(stats.SubsFinished)
+	reg.Counter("core_preemptions_total").Add(stats.Preemptions)
+	reg.Counter("core_retries_total").Add(stats.Retries)
+	reg.Counter("core_failures_total").Add(stats.Failures)
+	reg.Gauge("core_max_queue_len").SetMax(int64(stats.MaxQueueLen))
+	reg.Gauge("core_max_inflight_bytes").SetMax(stats.MaxInflightBytes)
+	reg.Gauge("core_credit_bytes").Set(cfg.Policy.CreditBytes)
+	if cfg.Policy.CreditBytes > 0 {
+		// Credit occupancy high-water mark: how much of the window the
+		// scheduler actually filled. The tuner reads this to tell an
+		// under-provisioned credit (pegged at 100%) from an oversized one.
+		reg.Gauge("core_credit_occupancy_bytes").SetMax(stats.MaxInflightBytes)
+	}
+	reg.Counter("run_iterations_total").Add(uint64(cfg.Iterations))
+	reg.Gauge("run_samples_per_sec").Set(int64(res.SamplesPerSec))
+	reg.Histogram("run_iter_seconds").Observe(res.IterTime)
+	reg.Counter("fault_retransmits_total").Add(res.Faults.Retransmits)
+	reg.Counter("fault_spikes_total").Add(res.Faults.Spikes)
+	reg.Counter("fault_outage_deferred_total").Add(res.Faults.OutageDeferred)
+	publishSpans(reg, rec)
+}
+
+// publishSpans classifies recorded spans into compute vs. communication
+// duration histograms — the virtual-time mirrors of the live path's
+// netps_*_seconds and core_partition_seconds — and surfaces the recorder's
+// clamp counter so wall/virtual time inversions are visible in scrapes.
+func publishSpans(reg *metrics.Registry, rec *trace.Recorder) {
+	if rec == nil {
+		return
+	}
+	compute := reg.Histogram("sim_compute_seconds")
+	comm := reg.Histogram("sim_comm_seconds")
+	for _, s := range rec.Spans() {
+		switch {
+		case strings.Contains(s.Lane, "gpu"):
+			compute.Observe(s.Duration())
+		default:
+			comm.Observe(s.Duration())
+		}
+	}
+	reg.Counter("trace_clamped_total").Add(rec.Clamped())
+}

@@ -13,6 +13,7 @@ import (
 	"bytescheduler/internal/compress"
 	"bytescheduler/internal/core"
 	"bytescheduler/internal/engine"
+	"bytescheduler/internal/metrics"
 	"bytescheduler/internal/model"
 	"bytescheduler/internal/network"
 	"bytescheduler/internal/plugin"
@@ -113,6 +114,12 @@ type Config struct {
 	Seed   int64
 	// Trace, if non-nil, records GPU spans.
 	Trace *trace.Recorder
+	// Metrics, if non-nil, receives the run's counters, gauges and span
+	// histograms after completion, under the same metric names the live
+	// stack publishes incrementally. When Metrics is set and Trace is nil,
+	// the runner attaches an internal recorder so the span-duration
+	// histograms are still populated.
+	Metrics *metrics.Registry
 }
 
 // withDefaults fills derived fields.
@@ -324,6 +331,9 @@ func Run(cfg Config) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	if cfg.Metrics != nil && cfg.Trace == nil {
+		cfg.Trace = trace.New()
+	}
 	inst, err := build(cfg, engineConfig(cfg))
 	if err != nil {
 		return Result{}, err
@@ -338,6 +348,7 @@ func Run(cfg Config) (Result, error) {
 	if err := inst.collect(&res); err != nil {
 		return Result{}, err
 	}
+	publishMetrics(cfg.Metrics, cfg, res, cfg.Trace)
 	return res, nil
 }
 

@@ -82,13 +82,28 @@ func Percentile(xs []float64, p float64) float64 {
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
 }
 
-// CI95 returns the half-width of a normal-approximation 95% confidence
-// interval around the mean.
+// tCrit95 holds two-sided 95% Student-t critical values for 1..29 degrees
+// of freedom. Benchmark repetitions are small (often 3-10 runs), where the
+// normal approximation's z=1.96 understates the interval badly — at n=4
+// (df=3) the true critical value is 3.182, a 62% wider interval.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+}
+
+// CI95 returns the half-width of a two-sided 95% confidence interval around
+// the mean, using Student-t critical values for small samples (n < 30) and
+// the normal approximation z=1.96 beyond, where the two agree to within 2%.
 func CI95(xs []float64) float64 {
 	if len(xs) < 2 {
 		return 0
 	}
-	return 1.96 * StdDev(xs) / math.Sqrt(float64(len(xs)))
+	crit := 1.96
+	if df := len(xs) - 1; df <= len(tCrit95) {
+		crit = tCrit95[df-1]
+	}
+	return crit * StdDev(xs) / math.Sqrt(float64(len(xs)))
 }
 
 // Speedup returns (b-a)/a as a percentage: how much faster b is than a.

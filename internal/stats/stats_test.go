@@ -56,8 +56,27 @@ func TestCI95(t *testing.T) {
 	if CI95([]float64{1}) != 0 {
 		t.Fatal("single-sample CI should be 0")
 	}
-	if CI95([]float64{1, 2, 3, 4}) <= 0 {
-		t.Fatal("CI should be positive")
+	// n=4 -> df=3 -> t=3.182, sd=1.29099, half-width 3.182*1.29099/2.
+	if got, want := CI95([]float64{1, 2, 3, 4}), 2.0540; math.Abs(got-want) > 1e-3 {
+		t.Fatalf("CI95(n=4) = %v, want %v (Student-t, df=3)", got, want)
+	}
+	// n=2 -> df=1 -> t=12.706: tiny samples must widen dramatically.
+	if got, want := CI95([]float64{1, 2}), 12.706*math.Sqrt(0.5)/math.Sqrt2; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("CI95(n=2) = %v, want %v", got, want)
+	}
+	// Large n falls back to the normal approximation.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i % 10)
+	}
+	want := 1.96 * StdDev(big) / 10
+	if got := CI95(big); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95(n=100) = %v, want z-based %v", got, want)
+	}
+	// Monotonic hand-off: the df=29 t value must still exceed z, and the
+	// interval with one more sample (same sd) must not widen.
+	if tCrit95[28] <= 1.96 {
+		t.Fatal("t table must dominate z at df=29")
 	}
 }
 

@@ -9,6 +9,8 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Span is one timed operation on a lane.
@@ -25,23 +27,47 @@ type Span struct {
 func (s Span) Duration() float64 { return s.End - s.Start }
 
 // Recorder accumulates spans. A nil *Recorder is valid and records nothing,
-// so callers can pass through an optional recorder without nil checks.
+// so callers can pass through an optional recorder without nil checks. The
+// recorder is goroutine-safe: the simulator feeds it from one goroutine,
+// but wall-clock tracing (Wall) feeds it from live completion callbacks on
+// many.
 type Recorder struct {
-	spans []Span
+	mu      sync.Mutex
+	spans   []Span
+	clamped atomic.Uint64
 }
 
 // New returns an empty recorder.
 func New() *Recorder { return &Recorder{} }
 
 // Add records a span. Calling Add on a nil recorder is a no-op.
+//
+// A span that ends before it starts is clamped to zero duration at its
+// start time and counted (Clamped) instead of panicking: wall-clock spans
+// legitimately produce tiny negative durations when monotonic and wall
+// readings mix or when a retried sub-span reuses a stale start, and one bad
+// span must not kill a live run.
 func (r *Recorder) Add(lane, name string, start, end float64) {
 	if r == nil {
 		return
 	}
 	if end < start {
-		panic(fmt.Sprintf("trace: span %s/%s ends before it starts (%v > %v)", lane, name, start, end))
+		r.clamped.Add(1)
+		end = start
 	}
+	r.mu.Lock()
 	r.spans = append(r.spans, Span{Lane: lane, Name: name, Start: start, End: end})
+	r.mu.Unlock()
+}
+
+// Clamped returns how many spans were clamped to zero duration because
+// they ended before they started; 0 for a nil recorder. Exported runs
+// surface this as the trace_clamped metric.
+func (r *Recorder) Clamped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.clamped.Load()
 }
 
 // Len returns the number of recorded spans; 0 for a nil recorder.
@@ -49,6 +75,8 @@ func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return len(r.spans)
 }
 
@@ -57,7 +85,9 @@ func (r *Recorder) Spans() []Span {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
 	out := append([]Span(nil), r.spans...)
+	r.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
@@ -72,6 +102,8 @@ func (r *Recorder) Lanes() []string {
 	if r == nil {
 		return nil
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	seen := make(map[string]bool)
 	var lanes []string
 	for _, s := range r.spans {
@@ -83,24 +115,38 @@ func (r *Recorder) Lanes() []string {
 	return lanes
 }
 
-// chromeEvent is the Chrome trace-event "complete" (ph=X) record.
+// chromeEvent is a Chrome trace-event record: "complete" spans (ph=X) plus
+// thread_name metadata (ph=M) that names each lane, so chrome://tracing and
+// Perfetto show lane names and ReadChromeTrace can round-trip them.
 type chromeEvent struct {
-	Name string  `json:"name"`
-	Ph   string  `json:"ph"`
-	Ts   float64 `json:"ts"`  // microseconds
-	Dur  float64 `json:"dur"` // microseconds
-	PID  int     `json:"pid"`
-	TID  int     `json:"tid"`
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds
+	Dur  float64        `json:"dur"` // microseconds; 0 for metadata events
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
 }
 
 // WriteChromeTrace writes the spans as a Chrome trace-event JSON array
-// (loadable in chrome://tracing or Perfetto). Lanes map to thread IDs.
+// (loadable in chrome://tracing or Perfetto). Lanes map to thread IDs and
+// are named via thread_name metadata events. Simulated and wall-clock
+// recordings share this exact schema, so live and sim traces are directly
+// comparable side by side.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
-	laneID := make(map[string]int)
-	for i, lane := range r.Lanes() {
+	lanes := r.Lanes()
+	laneID := make(map[string]int, len(lanes))
+	events := make([]chromeEvent, 0, r.Len()+len(lanes))
+	for i, lane := range lanes {
 		laneID[lane] = i
+		events = append(events, chromeEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			PID:  1,
+			TID:  i,
+			Args: map[string]any{"name": lane},
+		})
 	}
-	events := make([]chromeEvent, 0, r.Len())
 	for _, s := range r.Spans() {
 		events = append(events, chromeEvent{
 			Name: s.Name,
@@ -115,6 +161,37 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	return enc.Encode(events)
 }
 
+// ReadChromeTrace parses a Chrome trace-event JSON array produced by
+// WriteChromeTrace (or any tool emitting ph=X spans with thread_name
+// metadata) back into a Recorder — the loader behind live-vs-sim trace
+// overlays.
+func ReadChromeTrace(rd io.Reader) (*Recorder, error) {
+	var events []chromeEvent
+	if err := json.NewDecoder(rd).Decode(&events); err != nil {
+		return nil, fmt.Errorf("trace: invalid Chrome trace JSON: %w", err)
+	}
+	laneName := make(map[int]string)
+	for _, ev := range events {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			if name, ok := ev.Args["name"].(string); ok {
+				laneName[ev.TID] = name
+			}
+		}
+	}
+	rec := New()
+	for _, ev := range events {
+		if ev.Ph != "X" {
+			continue
+		}
+		lane, ok := laneName[ev.TID]
+		if !ok {
+			lane = fmt.Sprintf("tid%d", ev.TID)
+		}
+		rec.Add(lane, ev.Name, ev.Ts/1e6, (ev.Ts+ev.Dur)/1e6)
+	}
+	return rec, nil
+}
+
 // Gantt renders an ASCII Gantt chart with the given total width in
 // characters. Each lane gets one row; spans are drawn as runs of '#' with
 // the first letter of their name where space allows.
@@ -125,8 +202,9 @@ func (r *Recorder) Gantt(width int) string {
 	if width < 20 {
 		width = 20
 	}
+	spans := r.Spans()
 	var tmax float64
-	for _, s := range r.spans {
+	for _, s := range spans {
 		if s.End > tmax {
 			tmax = s.End
 		}
@@ -148,7 +226,7 @@ func (r *Recorder) Gantt(width int) string {
 		for i := range row {
 			row[i] = '.'
 		}
-		for _, s := range r.spans {
+		for _, s := range spans {
 			if s.Lane != lane {
 				continue
 			}

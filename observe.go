@@ -1,0 +1,144 @@
+package bytescheduler
+
+import (
+	"io"
+	"net/http"
+
+	"bytescheduler/internal/metrics"
+	"bytescheduler/internal/trace"
+)
+
+// Metrics is the public observability registry: counters, gauges and
+// latency histograms emitted by live schedulers (Scheduler.Instrument), the
+// netps parameter-server stack, and simulated runs (Experiment.Metrics).
+// Live and simulated runs publish under the same metric names, so a
+// dashboard built against one reads the other unchanged.
+//
+// A nil *Metrics is valid everywhere and disables collection.
+type Metrics struct {
+	reg *metrics.Registry
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return &Metrics{reg: metrics.NewRegistry()} }
+
+// registry unwraps the internal registry; nil-safe.
+func (m *Metrics) registry() *metrics.Registry {
+	if m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4).
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	return m.registry().WritePrometheus(w)
+}
+
+// Handler returns an http.Handler serving the Prometheus text format —
+// mount it at /metrics next to net/http/pprof.
+func (m *Metrics) Handler() http.Handler { return m.registry().Handler() }
+
+// String renders a JSON snapshot, satisfying expvar.Var so a Metrics can be
+// published with expvar.Publish.
+func (m *Metrics) String() string { return m.registry().String() }
+
+// Names returns every registered metric name, sorted.
+func (m *Metrics) Names() []string { return m.registry().Names() }
+
+// HistogramStat summarizes one histogram: observation count, sum, and
+// interpolated quantiles (NaN when empty).
+type HistogramStat struct {
+	Count         uint64
+	Sum           float64
+	P50, P90, P99 float64
+}
+
+// MetricsSnapshot is a point-in-time copy of every metric.
+type MetricsSnapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramStat
+}
+
+// Snapshot captures every metric. Safe to call concurrently with updates.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := m.registry().Snapshot()
+	out := MetricsSnapshot{
+		Counters:   s.Counters,
+		Gauges:     s.Gauges,
+		Histograms: make(map[string]HistogramStat, len(s.Histograms)),
+	}
+	for name, h := range s.Histograms {
+		out.Histograms[name] = HistogramStat{
+			Count: h.Count,
+			Sum:   h.Sum,
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+		}
+	}
+	return out
+}
+
+// TraceRecorder collects wall-clock spans from a live scheduler
+// (Scheduler.SetTrace) or virtual-time spans from a simulated run, and
+// exports them in the Chrome trace-event format — load the output in
+// chrome://tracing or Perfetto. Both paths emit the identical schema:
+// lanes become named threads, spans become complete events, and times are
+// seconds since the run's start (the live tracer's epoch, or the
+// simulator's t=0).
+type TraceRecorder struct {
+	rec  *trace.Recorder
+	wall *trace.Wall
+}
+
+// NewTraceRecorder returns an empty wall-clock trace recorder.
+func NewTraceRecorder() *TraceRecorder {
+	rec := trace.New()
+	return &TraceRecorder{rec: rec, wall: trace.NewWall(rec)}
+}
+
+// wallTracer unwraps the wall-clock tracer; nil-safe.
+func (t *TraceRecorder) wallTracer() *trace.Wall {
+	if t == nil {
+		return nil
+	}
+	return t.wall
+}
+
+// recorder unwraps the span recorder; nil-safe.
+func (t *TraceRecorder) recorder() *trace.Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec
+}
+
+// Span opens a named span on the given lane now and returns the function
+// that closes it — bracket any application phase (data loading, compute,
+// checkpointing) to see it alongside scheduler and network spans.
+func (t *TraceRecorder) Span(lane, name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	return t.wall.Span(lane, name)
+}
+
+// Len returns the number of recorded spans.
+func (t *TraceRecorder) Len() int { return t.recorder().Len() }
+
+// Clamped returns how many spans arrived with end < start and were clamped
+// to zero duration (wall-clock skew, stale retry timestamps). A nonzero
+// value is a signal worth scraping, not an error.
+func (t *TraceRecorder) Clamped() uint64 { return t.recorder().Clamped() }
+
+// WriteChromeTrace writes all spans as a Chrome trace-event JSON array.
+func (t *TraceRecorder) WriteChromeTrace(w io.Writer) error {
+	return t.recorder().WriteChromeTrace(w)
+}
+
+// Gantt renders an ASCII Gantt chart of the recorded spans, width columns
+// wide.
+func (t *TraceRecorder) Gantt(width int) string { return t.recorder().Gantt(width) }

@@ -41,6 +41,16 @@ type CommTask struct {
 	// OnFinished, if non-nil, fires once when every partition has
 	// completed (successfully or after exhausting retries; check Err).
 	OnFinished func()
+	// OnSubStart, if non-nil, fires as each partition is released to Start
+	// — on the partition's goroutine, without the scheduler lock. Use it
+	// (with OnSubFinish) to bracket per-partition spans on an external
+	// tracer or to log release order.
+	OnSubStart func(sub SubTask)
+	// OnSubFinish, if non-nil, fires when a partition's done callback runs,
+	// with the error the substrate reported (nil for Start-based tasks and
+	// successes). It fires once per attempt: a retried partition reports
+	// each failed attempt before its eventual outcome.
+	OnSubFinish func(sub SubTask, err error)
 
 	inner *core.Task
 }
@@ -79,14 +89,37 @@ func (s *Scheduler) Enqueue(t *CommTask) error {
 		Tensor:     tensor.Tensor{Layer: t.Layer, Name: t.Name, Bytes: t.Bytes},
 		OnFinished: t.OnFinished,
 	}
+	onStart, onFinish := t.OnSubStart, t.OnSubFinish
 	if start := t.Start; start != nil {
 		inner.Start = func(sub tensor.Sub, done func()) {
-			start(subTask(sub), done)
+			st := subTask(sub)
+			if onStart != nil {
+				onStart(st)
+			}
+			if onFinish == nil {
+				start(st, done)
+				return
+			}
+			start(st, func() {
+				onFinish(st, nil)
+				done()
+			})
 		}
 	}
 	if start := t.StartErr; start != nil {
 		inner.StartErr = func(sub tensor.Sub, done func(error)) {
-			start(subTask(sub), done)
+			st := subTask(sub)
+			if onStart != nil {
+				onStart(st)
+			}
+			if onFinish == nil {
+				start(st, done)
+				return
+			}
+			start(st, func(err error) {
+				onFinish(st, err)
+				done(err)
+			})
 		}
 	}
 	if err := s.async.Enqueue(inner); err != nil {
@@ -115,6 +148,18 @@ func (s *Scheduler) NotifyReady(t *CommTask) error {
 	}
 	return s.async.NotifyReady(t.inner)
 }
+
+// Instrument attaches a metrics registry: the scheduler publishes credit
+// occupancy, queue depth, in-flight partitions/bytes gauges and
+// start/finish/retry/failure/preemption counters under core_* names, plus a
+// core_partition_seconds latency histogram. A nil Metrics (or nil receiver
+// argument) detaches. Safe to call between turns of work.
+func (s *Scheduler) Instrument(m *Metrics) { s.async.Instrument(m.registry()) }
+
+// SetTrace attaches a wall-clock trace recorder: every partition becomes a
+// span named "tensor[i/n]" on lane "core/L<layer>", start-to-done. A nil
+// recorder detaches.
+func (s *Scheduler) SetTrace(t *TraceRecorder) { s.async.SetTracer(t.wallTracer()) }
 
 // Drained reports whether nothing is queued or in flight.
 func (s *Scheduler) Drained() bool { return s.async.Drained() }
