@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: build vet staticcheck test race verify bench
+.PHONY: build vet staticcheck test race docs verify bench
 
 build:
 	$(GO) build ./...
@@ -25,9 +25,15 @@ test:
 race:
 	$(GO) test -race ./...
 
-# verify is the CI gate: everything must build, pass vet + staticcheck, and
-# pass the full test suite with the race detector on.
-verify: build vet staticcheck race
+# docs validates the documentation set: vet keeps the package docs
+# compiling with the code they describe, and checklinks fails on any
+# relative markdown link whose target moved or was deleted.
+docs: vet
+	sh scripts/checklinks.sh
+
+# verify is the CI gate: everything must build, pass vet + staticcheck,
+# pass the full test suite with the race detector on, and have intact docs.
+verify: build vet staticcheck race docs
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -28,6 +28,7 @@ import (
 	"bytescheduler/internal/model"
 	"bytescheduler/internal/network"
 	"bytescheduler/internal/plugin"
+	"bytescheduler/internal/ps"
 	"bytescheduler/internal/runner"
 	"bytescheduler/internal/tune"
 )
@@ -215,6 +216,12 @@ type Experiment struct {
 	// "int8", or "topk:<keep>" such as "topk:0.01". Composes with
 	// scheduling (§8).
 	Compression string
+	// Assignment selects the PS placement strategy over tensors (or
+	// partitions, once the policy partitions): "" or "round-robin" (the
+	// paper's baseline), "size-balanced"/"lpt" (online greedy LPT that
+	// fixes §6.2's load imbalance), or "hash-ring" (consistent hashing
+	// that survives server churn). Ignored for all-reduce.
+	Assignment string
 	// Iterations and Warmup control measurement; zero selects defaults.
 	Iterations, Warmup int
 	// Jitter adds relative compute noise (e.g. 0.02); Seed seeds it.
@@ -243,6 +250,11 @@ type Measurement struct {
 	IterTime float64
 	// LoadImbalance is the PS max/mean load ratio (0 for all-reduce).
 	LoadImbalance float64
+	// PlannedImbalance is max/mean of the placement's planned per-server
+	// bytes (0 for all-reduce): the assigner's skew before traffic
+	// effects. Comparing it with LoadImbalance separates placement error
+	// from big-array striping and aggregation effects.
+	PlannedImbalance float64
 	// Preemptions counts priority preemptions performed by the scheduler.
 	Preemptions uint64
 	// Retransmits, Spikes and OutageDeferred count injected fabric faults
@@ -290,6 +302,10 @@ func (e Experiment) runnerConfig() (runner.Config, error) {
 	if err != nil {
 		return runner.Config{}, err
 	}
+	placement, err := ps.ParseStrategy(e.Assignment)
+	if err != nil {
+		return runner.Config{}, err
+	}
 	return runner.Config{
 		Model:         m,
 		Framework:     e.Framework.plugin(),
@@ -302,6 +318,7 @@ func (e Experiment) runnerConfig() (runner.Config, error) {
 		Async:         e.AsyncPS,
 		Collective:    collective,
 		Compression:   compression,
+		Placement:     placement,
 		Iterations:    e.Iterations,
 		Warmup:        e.Warmup,
 		Jitter:        e.Jitter,
@@ -323,14 +340,15 @@ func Run(e Experiment) (Measurement, error) {
 		return Measurement{}, err
 	}
 	return Measurement{
-		SamplesPerSec:  res.SamplesPerSec,
-		SampleUnit:     cfg.Model.SampleUnit,
-		IterTime:       res.IterTime,
-		LoadImbalance:  res.LoadImbalance,
-		Preemptions:    res.UpStats.Preemptions + res.DownStats.Preemptions,
-		Retransmits:    res.Faults.Retransmits,
-		Spikes:         res.Faults.Spikes,
-		OutageDeferred: res.Faults.OutageDeferred,
+		SamplesPerSec:    res.SamplesPerSec,
+		SampleUnit:       cfg.Model.SampleUnit,
+		IterTime:         res.IterTime,
+		LoadImbalance:    res.LoadImbalance,
+		PlannedImbalance: res.PlannedImbalance,
+		Preemptions:      res.UpStats.Preemptions + res.DownStats.Preemptions,
+		Retransmits:      res.Faults.Retransmits,
+		Spikes:           res.Faults.Spikes,
+		OutageDeferred:   res.Faults.OutageDeferred,
 	}, nil
 }
 

@@ -27,6 +27,7 @@ import (
 	"bytescheduler/internal/model"
 	"bytescheduler/internal/network"
 	"bytescheduler/internal/plugin"
+	"bytescheduler/internal/ps"
 	"bytescheduler/internal/runner"
 	"bytescheduler/internal/trace"
 	"bytescheduler/internal/tune"
@@ -37,12 +38,15 @@ import (
 // through every call site.
 type options struct {
 	Model, Framework, Arch, Transport, Policy string
-	BW, PartMB, CreditMB                      float64
-	GPUs, Iters, Warmup, TuneN                int
-	Seed                                      int64
-	Jitter                                    float64
-	Async, Gantt                              bool
-	ChromeOut                                 string
+	// Assign selects the PS placement strategy (ps.ParseStrategy
+	// spellings: round-robin, size-balanced/lpt, hash-ring).
+	Assign                     string
+	BW, PartMB, CreditMB       float64
+	GPUs, Iters, Warmup, TuneN int
+	Seed                       int64
+	Jitter                     float64
+	Async, Gantt               bool
+	ChromeOut                  string
 	// Metrics prints the run's metrics in Prometheus text format after the
 	// summary.
 	Metrics bool
@@ -67,6 +71,8 @@ func main() {
 	flag.Float64Var(&o.PartMB, "partition", 2, "partition size in MB (bytescheduler policy)")
 	flag.Float64Var(&o.CreditMB, "credit", 8, "credit size in MB (bytescheduler policy)")
 	flag.BoolVar(&o.Async, "async", false, "asynchronous PS")
+	flag.StringVar(&o.Assign, "assign", "round-robin",
+		"PS placement strategy: "+strings.Join(ps.StrategyNames(), ", "))
 	flag.IntVar(&o.Iters, "iters", 12, "iterations to simulate")
 	flag.IntVar(&o.Warmup, "warmup", 2, "warmup iterations excluded from measurement")
 	flag.Float64Var(&o.Jitter, "jitter", 0, "relative compute jitter, e.g. 0.02")
@@ -105,6 +111,10 @@ func run(o options) error {
 	default:
 		return fmt.Errorf("unknown arch %q", o.Arch)
 	}
+	placement, err := ps.ParseStrategy(o.Assign)
+	if err != nil {
+		return err
+	}
 
 	cfg := runner.Config{
 		Model:         m,
@@ -118,6 +128,7 @@ func run(o options) error {
 		Jitter:        o.Jitter,
 		Seed:          o.Seed,
 		Async:         o.Async,
+		Placement:     placement,
 	}
 
 	switch strings.ToLower(o.Policy) {
@@ -188,7 +199,8 @@ func run(o options) error {
 		res.SamplesPerSec/linear*100)
 	fmt.Printf("  GPU util:  %9.0f%% compute (rest is communication stall)\n", res.GPUUtilization*100)
 	if a == runner.PS {
-		fmt.Printf("  PS load:   max/mean %.2f\n", res.LoadImbalance)
+		fmt.Printf("  PS load:   max/mean %.2f observed, %.2f planned (%s placement)\n",
+			res.LoadImbalance, res.PlannedImbalance, placement)
 	}
 	fmt.Printf("  scheduler: %d partitions sent, %d preemptions\n",
 		res.UpStats.SubsStarted+res.DownStats.SubsStarted,

@@ -123,6 +123,18 @@ func (a *AsyncScheduler) SetTracer(w *trace.Wall) {
 	a.s.SetTracer(w)
 }
 
+// SetFlushHook installs a transport flush callback on the underlying
+// scheduler (see Scheduler.SetFlushHook); nil detaches. The hook runs with
+// the scheduler's lock held, so it must neither call back into this
+// AsyncScheduler nor block on network I/O — hand the actual write to the
+// transport's own goroutine (netps.Batcher.FlushAsync is built for exactly
+// this: it detaches the queue under its own lock and writes elsewhere).
+func (a *AsyncScheduler) SetFlushHook(fn func()) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.s.SetFlushHook(fn)
+}
+
 // Stats snapshots the underlying counters. The counters are atomics, so no
 // lock is needed: scrapers can read mid-run without contending with the
 // scheduler.

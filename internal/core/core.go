@@ -281,6 +281,11 @@ type Scheduler struct {
 	// guard, when non-nil, serializes completion callbacks re-entering
 	// scheduler state (AsyncScheduler installs its mutex).
 	guard func(f func())
+	// flushHook, when non-nil, fires at the end of every scheduling pass
+	// that released at least one partition — the transport's cue that no
+	// further releases are imminent, so a coalescing batcher (e.g.
+	// netps.Batcher) can flush without waiting out its deadline.
+	flushHook func()
 }
 
 // seqQueue is a min-heap of queueItems by arrival seq.
@@ -422,6 +427,16 @@ func (s *Scheduler) NotifyReady(t *Task) {
 	s.schedule()
 }
 
+// SetFlushHook installs fn to run at the end of every scheduling pass that
+// released at least one partition — i.e. the moment the scheduler knows no
+// further release is imminent (the queue drained or credit blocked). A
+// transport that coalesces sub-partition messages (netps.Batcher) uses
+// this as its flush point, so batching amortizes the per-message overhead
+// θ without adding latency beyond the scheduling pass itself. fn must not
+// re-enter the scheduler. Passing nil detaches. Attach before scheduling
+// begins; AsyncScheduler.SetFlushHook serializes for you.
+func (s *Scheduler) SetFlushHook(fn func()) { s.flushHook = fn }
+
 // schedule releases queued partitions while credit allows (Algorithm 1,
 // procedure SCHEDULE). To avoid deadlock on partitions larger than the
 // whole credit, the head is always released when nothing is in flight.
@@ -431,13 +446,19 @@ func (s *Scheduler) schedule() {
 	}
 	s.scheduling = true
 	defer func() { s.scheduling = false }()
+	released := 0
 	for len(s.queue) > 0 {
 		head := s.queue[0]
 		if s.limited && s.credit < head.sub.Bytes && s.inflight > 0 {
-			return // wait until a subtask finishes and returns credit
+			break // wait until a subtask finishes and returns credit
 		}
 		heap.Pop(&s.queue)
 		s.start(head)
+		released++
+	}
+	if released > 0 && s.flushHook != nil {
+		s.flushHook()
+		s.inst.flushes.Inc()
 	}
 }
 

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bytescheduler/internal/metrics"
+	"bytescheduler/internal/tensor"
+)
+
+// TestFlushHookFiresPerReleasingPass pins the flush-hook contract: the hook
+// runs after every scheduling pass that released at least one partition —
+// the transport's cue that no further release is imminent and a coalescing
+// batcher should write what it has — and never after a pass that released
+// nothing.
+func TestFlushHookFiresPerReleasingPass(t *testing.T) {
+	a := NewAsync(ByteScheduler(100, 0)) // unlimited credit: one pass releases all
+	reg := metrics.NewRegistry()
+	a.Instrument(reg)
+	var flushes, started atomic.Int64
+	a.SetFlushHook(func() { flushes.Add(1) })
+
+	var wg sync.WaitGroup
+	const subs = 3
+	wg.Add(subs)
+	task := &Task{
+		Tensor: tensor.Tensor{Layer: 0, Name: "w", Bytes: 100 * subs},
+		Start: func(sub tensor.Sub, done func()) {
+			started.Add(1)
+			done()
+			wg.Done()
+		},
+	}
+	if err := a.Enqueue(task); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.NotifyReady(task); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	a.Shutdown()
+
+	if started.Load() != subs {
+		t.Fatalf("started = %d, want %d", started.Load(), subs)
+	}
+	got := flushes.Load()
+	if got < 1 || got > subs {
+		t.Fatalf("flush hook fired %d times for %d releases in [1, %d] passes", got, subs, subs)
+	}
+	snap := reg.Snapshot()
+	if c := snap.Counters["core_flushes_total"]; int64(c) != got {
+		t.Fatalf("core_flushes_total = %d, hook saw %d", c, got)
+	}
+}
+
+// TestFlushHookCreditBlocked checks the hook also fires when a pass stops
+// because credit ran out (released some, queue non-empty): the in-flight
+// partition must still be flushed or the credit will never return.
+func TestFlushHookCreditBlocked(t *testing.T) {
+	a := NewAsync(ByteScheduler(10, 10)) // one partition in flight at a time
+	var flushes atomic.Int64
+	a.SetFlushHook(func() { flushes.Add(1) })
+
+	release := make(chan func(), 64)
+	var wg sync.WaitGroup
+	const subs = 5
+	wg.Add(subs)
+	task := &Task{
+		Tensor: tensor.Tensor{Layer: 0, Name: "w", Bytes: 10 * subs},
+		Start: func(sub tensor.Sub, done func()) {
+			release <- done
+			wg.Done()
+		},
+	}
+	if err := a.Enqueue(task); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.NotifyReady(task); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < subs; i++ {
+		done := <-release
+		done()
+	}
+	wg.Wait()
+	a.Shutdown()
+	// Every stop-and-wait pass released exactly one partition, so the hook
+	// must have fired once per partition.
+	if got := flushes.Load(); got != subs {
+		t.Fatalf("flush hook fired %d times, want %d (one per credit-blocked release)", got, subs)
+	}
+}
+
+// TestFlushHookDetach checks nil detaches the hook.
+func TestFlushHookDetach(t *testing.T) {
+	a := NewAsync(FIFO())
+	var flushes atomic.Int64
+	a.SetFlushHook(func() { flushes.Add(1) })
+	a.SetFlushHook(nil)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	task := &Task{
+		Tensor: tensor.Tensor{Layer: 0, Name: "w", Bytes: 8},
+		Start: func(sub tensor.Sub, done func()) {
+			done()
+			wg.Done()
+		},
+	}
+	if err := a.Enqueue(task); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.NotifyReady(task); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	a.Shutdown()
+	if flushes.Load() != 0 {
+		t.Fatal("detached flush hook still fired")
+	}
+}

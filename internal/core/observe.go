@@ -61,6 +61,7 @@ type instruments struct {
 	failures      *metrics.Counter
 	preemptions   *metrics.Counter
 	tasksEnqueued *metrics.Counter
+	flushes       *metrics.Counter
 
 	queueDepth      *metrics.Gauge
 	inflight        *metrics.Gauge
@@ -88,6 +89,7 @@ func (s *Scheduler) Instrument(reg *metrics.Registry) {
 		failures:         reg.Counter("core_failures_total"),
 		preemptions:      reg.Counter("core_preemptions_total"),
 		tasksEnqueued:    reg.Counter("core_tasks_enqueued_total"),
+		flushes:          reg.Counter("core_flushes_total"),
 		queueDepth:       reg.Gauge("core_queue_depth"),
 		inflight:         reg.Gauge("core_inflight_partitions"),
 		inflightBytes:    reg.Gauge("core_inflight_bytes"),

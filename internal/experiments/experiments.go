@@ -125,6 +125,7 @@ func All() []Experiment {
 		{"EXT-COMPRESS", ExtCompression, "gradient compression x scheduling (§8)"},
 		{"EXT-ZOO", ExtZooModels, "extended model zoo (BERT, GNMT, Inception-v3)"},
 		{"EXT-FAULTS", ExtFaultTolerance, "fault injection: drops, outage, latency spikes (robustness)"},
+		{"EXT-BALANCE", ExtLoadBalance, "PS placement strategies on power-law tensors (load balance)"},
 		{"THM1", ThmOptimality, "Theorem 1 optimality and the §4.1 overhead bound"},
 	}
 }

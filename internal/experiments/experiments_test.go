@@ -200,6 +200,36 @@ func TestFaultToleranceShape(t *testing.T) {
 	}
 }
 
+func TestLoadBalanceShape(t *testing.T) {
+	tab := runExp(t, ExtLoadBalance)
+	// The aliasing claim: round-robin hot-spots badly on the blocked model,
+	// LPT flattens it.
+	if rr := tab.Metrics["rr_imbalance"]; rr < 2.5 {
+		t.Fatalf("round-robin imbalance %.2f, want the aliased hot-spot (>2.5)", rr)
+	}
+	if lpt := tab.Metrics["lpt_imbalance"]; lpt > 1.8 {
+		t.Fatalf("size-balanced imbalance %.2f, want near-flat", lpt)
+	}
+	if tab.Metrics["lpt_imbalance"] >= tab.Metrics["rr_imbalance"] {
+		t.Fatal("LPT did not reduce imbalance over round-robin")
+	}
+	// The goodput claim the scenario exists for: size-balanced placement
+	// recovers >= 15% throughput over round-robin at 8 servers.
+	if gain := tab.Metrics["lpt_gain_pct"]; gain < 15 {
+		t.Fatalf("size-balanced sync gain %.1f%%, want >= 15%%", gain)
+	}
+	if gain := tab.Metrics["lpt_gain_async_pct"]; gain < 15 {
+		t.Fatalf("size-balanced async gain %.1f%%, want >= 15%%", gain)
+	}
+	// ByteScheduler's partition spreading remains the ceiling.
+	if tab.Metrics["sched_gain_pct"] <= tab.Metrics["lpt_gain_pct"] {
+		t.Fatal("placement alone beat partition spreading; expected spreading to stay the ceiling")
+	}
+	if len(tab.Rows) != 7 { // 3 strategies x 2 modes + scheduled reference
+		t.Fatalf("rows = %d, want 7", len(tab.Rows))
+	}
+}
+
 func TestTheoremShape(t *testing.T) {
 	tab := runExp(t, ThmOptimality)
 	if tab.Metrics["best_alternative_advantage_ms"] > 0.01 {

@@ -12,7 +12,8 @@ import (
 	"bytescheduler/internal/trace"
 )
 
-// Default client hardening knobs; override with Options.
+// Default client hardening and batching knobs; override with Options or a
+// Config (see WithConfig / DefaultConfig).
 const (
 	// DefaultTimeout bounds each write and each push-response read.
 	DefaultTimeout = 15 * time.Second
@@ -22,9 +23,15 @@ const (
 	DefaultBackoffBase = 5 * time.Millisecond
 	// DefaultBackoffMax caps the exponential backoff.
 	DefaultBackoffMax = 500 * time.Millisecond
-	// backoffJitterFrac is the deterministic multiplicative jitter applied
-	// to every backoff delay, decorrelating worker retry storms.
-	backoffJitterFrac = 0.25
+	// DefaultBackoffJitter is the deterministic multiplicative jitter
+	// applied to every backoff delay, decorrelating worker retry storms.
+	DefaultBackoffJitter = 0.25
+	// DefaultBatchBytes is the Batcher's flush-by-size threshold.
+	DefaultBatchBytes = 256 << 10
+	// DefaultBatchDelay is the Batcher's flush deadline — the longest a
+	// queued push may wait for companions before being sent anyway, which
+	// bounds the latency cost coalescing can impose on an urgent partition.
+	DefaultBatchDelay = 500 * time.Microsecond
 )
 
 // clientIDs hands out process-unique client identities for request Seq
@@ -73,9 +80,12 @@ func WithSeed(seed int64) Option { return func(c *Client) { c.rng = stats.NewRNG
 func WithClientID(id uint32) Option { return func(c *Client) { c.id = id } }
 
 // WithMetrics instruments the client against the given registry: request
-// latency histograms (netps_push_seconds, netps_pull_seconds), retry /
-// redial / server-rejection counters, byte counters, and an in-flight
-// request gauge.
+// latency histograms (netps_push_seconds, netps_pull_seconds,
+// netps_batch_seconds), retry / redial / server-rejection counters, byte
+// counters, an in-flight request gauge, and the framing economics of
+// batching — netps_msgs_total counts wire frames written, while
+// netps_batched_msgs_total counts the logical sub-messages they carried,
+// so msgs/bytes quantifies the per-message overhead θ amortization.
 func WithMetrics(reg *metrics.Registry) Option {
 	return func(c *Client) {
 		if reg == nil {
@@ -85,7 +95,11 @@ func WithMetrics(reg *metrics.Registry) Option {
 		c.inst = clientInstruments{
 			pushSeconds:  reg.Histogram("netps_push_seconds"),
 			pullSeconds:  reg.Histogram("netps_pull_seconds"),
+			batchSeconds: reg.Histogram("netps_batch_seconds"),
 			requests:     reg.Counter("netps_requests_total"),
+			msgs:         reg.Counter("netps_msgs_total"),
+			batches:      reg.Counter("netps_batches_total"),
+			batchedMsgs:  reg.Counter("netps_batched_msgs_total"),
 			retries:      reg.Counter("netps_retries_total"),
 			redials:      reg.Counter("netps_redials_total"),
 			serverErrors: reg.Counter("netps_server_errors_total"),
@@ -107,7 +121,11 @@ func WithTracer(w *trace.Wall) Option { return func(c *Client) { c.tracer = w } 
 type clientInstruments struct {
 	pushSeconds  *metrics.Histogram
 	pullSeconds  *metrics.Histogram
+	batchSeconds *metrics.Histogram
 	requests     *metrics.Counter
+	msgs         *metrics.Counter
+	batches      *metrics.Counter
+	batchedMsgs  *metrics.Counter
 	retries      *metrics.Counter
 	redials      *metrics.Counter
 	serverErrors *metrics.Counter
@@ -136,6 +154,9 @@ type Client struct {
 	maxRetries  int
 	backoffBase time.Duration
 	backoffMax  time.Duration
+	jitterFrac  float64
+	batchBytes  int
+	batchDelay  time.Duration
 	id          uint32
 	seq         atomic.Uint32
 	inst        clientInstruments
@@ -155,6 +176,9 @@ func NewClient(addr string, opts ...Option) *Client {
 		maxRetries:  DefaultRetries,
 		backoffBase: DefaultBackoffBase,
 		backoffMax:  DefaultBackoffMax,
+		jitterFrac:  DefaultBackoffJitter,
+		batchBytes:  DefaultBatchBytes,
+		batchDelay:  DefaultBatchDelay,
 		id:          clientIDs.Add(1),
 	}
 	for _, o := range opts {
@@ -226,7 +250,7 @@ func (c *Client) backoff(attempt int) {
 		return
 	}
 	c.mu.Lock()
-	jitter := c.rng.Jitter(backoffJitterFrac)
+	jitter := c.rng.Jitter(c.jitterFrac)
 	c.mu.Unlock()
 	time.Sleep(time.Duration(float64(d) * jitter))
 }
@@ -241,10 +265,10 @@ func (c *Client) exchange(conn net.Conn, req message) (message, error) {
 		conn.Close()
 		return message{}, err
 	}
-	// Pulls wait for cross-worker aggregation and may legitimately block
-	// far longer than a push acknowledgement.
+	// Pulls (and batches containing one) wait for cross-worker aggregation
+	// and may legitimately block far longer than a push acknowledgement.
 	readTimeout := c.timeout
-	if req.Op == OpPull {
+	if req.Op == OpPull || req.blocking {
 		readTimeout = c.pullTimeout
 	}
 	if readTimeout > 0 {
@@ -278,6 +302,8 @@ func opName(op Op) string {
 		return "push"
 	case OpPull:
 		return "pull"
+	case OpBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("op%d", op)
 	}
@@ -297,6 +323,7 @@ func opName(op Op) string {
 func (c *Client) roundTrip(req message) (message, error) {
 	req.Seq = c.nextSeq()
 	c.inst.requests.Inc()
+	c.inst.msgs.Inc() // one wire frame per logical request, batched or not
 	c.inst.inflight.Inc()
 	start := time.Now()
 	resp, err := c.attempt(req)
@@ -316,6 +343,8 @@ func (c *Client) roundTrip(req message) (message, error) {
 		case OpPull:
 			c.inst.pullSeconds.Observe(elapsed.Seconds())
 			c.inst.bytesPulled.Add(uint64(len(resp.Payload)))
+		case OpBatch:
+			c.inst.batchSeconds.Observe(elapsed.Seconds())
 		}
 	case isServerError(err):
 		c.inst.serverErrors.Inc()

@@ -1,0 +1,119 @@
+package netps
+
+import "time"
+
+// Config gathers every transport-hardening and batching knob in one
+// documented place — the constants these default from used to be scattered
+// and hardcoded. Apply a Config wholesale with WithConfig (client) or
+// WithServerConfig (server); the individual With* options remain for
+// piecemeal overrides and win when applied after a Config.
+//
+// The zero value of any field means "keep the default" (PullTimeout is the
+// exception: its default already is 0 / wait-forever), so a Config built by
+// mutating DefaultConfig() is always safe.
+//
+// See docs/ARCHITECTURE.md ("Live path") for where each knob bites.
+type Config struct {
+	// Timeout bounds each frame write and each non-blocking response read.
+	// Default DefaultTimeout.
+	Timeout time.Duration
+	// PullTimeout bounds how long a pull (or a batch containing one) may
+	// wait for cross-worker aggregation. Default 0: wait forever — a
+	// closing server fails waiters instead of leaking them, so a deadline
+	// is only needed to bound tail latency.
+	PullTimeout time.Duration
+	// Retries is the per-request transport retry budget (dial failures,
+	// timeouts, broken connections). Default DefaultRetries. Negative
+	// means 0: fail fast.
+	Retries int
+	// BackoffBase is the first retry delay; it doubles per attempt.
+	// Default DefaultBackoffBase.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential backoff. Default DefaultBackoffMax.
+	BackoffMax time.Duration
+	// BackoffJitter is the multiplicative jitter fraction applied to every
+	// backoff delay (deterministic per client), decorrelating worker retry
+	// storms. Default DefaultBackoffJitter.
+	BackoffJitter float64
+	// DedupCap bounds the server's per-client push-dedup window (how many
+	// recent request Seqs are remembered per client). Default
+	// DefaultDedupCap.
+	DedupCap int
+	// DedupClients bounds how many distinct client identities the server's
+	// dedup table tracks; least-recently-active windows are evicted whole.
+	// Default DefaultDedupClients.
+	DedupClients int
+	// BatchBytes is the Batcher's flush threshold: queued sub-message
+	// payload bytes beyond which the pending batch is written immediately.
+	// Default DefaultBatchBytes.
+	BatchBytes int
+	// BatchDelay is the Batcher's flush deadline: the longest a queued
+	// sub-message may wait for companions before the batch is written
+	// anyway. This is what keeps priority scheduling intact under
+	// coalescing — an urgent partition is delayed at most BatchDelay, not
+	// until a size threshold fills. Default DefaultBatchDelay.
+	BatchDelay time.Duration
+}
+
+// DefaultConfig returns the package defaults, ready to mutate.
+func DefaultConfig() Config {
+	return Config{
+		Timeout:       DefaultTimeout,
+		PullTimeout:   0,
+		Retries:       DefaultRetries,
+		BackoffBase:   DefaultBackoffBase,
+		BackoffMax:    DefaultBackoffMax,
+		BackoffJitter: DefaultBackoffJitter,
+		DedupCap:      DefaultDedupCap,
+		DedupClients:  DefaultDedupClients,
+		BatchBytes:    DefaultBatchBytes,
+		BatchDelay:    DefaultBatchDelay,
+	}
+}
+
+// WithConfig applies the client-side fields of cfg (Timeout, PullTimeout,
+// Retries, Backoff*, Batch*); zero-valued fields keep their defaults.
+func WithConfig(cfg Config) Option {
+	return func(c *Client) {
+		if cfg.Timeout > 0 {
+			c.timeout = cfg.Timeout
+		}
+		if cfg.PullTimeout > 0 {
+			c.pullTimeout = cfg.PullTimeout
+		}
+		if cfg.Retries != 0 {
+			c.maxRetries = cfg.Retries
+			if c.maxRetries < 0 {
+				c.maxRetries = 0
+			}
+		}
+		if cfg.BackoffBase > 0 {
+			c.backoffBase = cfg.BackoffBase
+		}
+		if cfg.BackoffMax > 0 {
+			c.backoffMax = cfg.BackoffMax
+		}
+		if cfg.BackoffJitter > 0 {
+			c.jitterFrac = cfg.BackoffJitter
+		}
+		if cfg.BatchBytes > 0 {
+			c.batchBytes = cfg.BatchBytes
+		}
+		if cfg.BatchDelay > 0 {
+			c.batchDelay = cfg.BatchDelay
+		}
+	}
+}
+
+// WithServerConfig applies the server-side fields of cfg (DedupCap,
+// DedupClients); zero-valued fields keep their defaults.
+func WithServerConfig(cfg Config) ServerOption {
+	return func(s *Server) {
+		if cfg.DedupCap > 0 {
+			s.dedupCap = cfg.DedupCap
+		}
+		if cfg.DedupClients > 0 {
+			s.dedupClients = cfg.DedupClients
+		}
+	}
+}

@@ -191,6 +191,9 @@ func TestLiveSchedulerOverTCP(t *testing.T) {
 				for i := range grad {
 					grad[i] = float32(w + 1)
 				}
+				// Allocate up front: partitions of one tensor may run
+				// concurrently, so a lazy nil-check inside Start would race.
+				results[w][layer] = make([]float32, n)
 				layerWG.Add(1)
 				tasks[layer] = &core.Task{
 					Tensor: tensor.Tensor{Layer: layer, Name: "w", Bytes: int64(4 * n)},
@@ -208,9 +211,6 @@ func TestLiveSchedulerOverTCP(t *testing.T) {
 							t.Error(err)
 							done()
 							return
-						}
-						if results[w][layer] == nil {
-							results[w][layer] = make([]float32, n)
 						}
 						copy(results[w][layer][lo:hi], sum)
 						done()

@@ -17,7 +17,18 @@
 // while they sat idle; servers deduplicate replayed pushes by request
 // sequence number, answer application errors with OpErr instead of dropping
 // the connection, and fail blocked pull waiters on Close instead of leaking
-// them. See DESIGN.md, "Fault model & degradation".
+// them. All client-side knobs — deadlines, retry budget, backoff shape,
+// batching thresholds — live in Config. See DESIGN.md, "Fault model &
+// degradation".
+//
+// Because §2.2's cost model charges a per-message overhead θ on every
+// transfer, small scheduled partitions are wire-inefficient one request at
+// a time. The OpBatch envelope coalesces many push/pull sub-messages into
+// one frame (Client.PushBatch / Client.PullBatch); Batcher queues pushes
+// and flushes on size, deadline, or the scheduler's flush hook
+// (FlushAsync), so one wire round trip carries a whole releasing pass.
+// Per-sub-message sequence numbers stay stable across envelope retries,
+// keeping server-side dedup exact for batches too.
 package netps
 
 import (
@@ -39,6 +50,15 @@ const (
 	// message. It replaces silently dropping the connection on application
 	// errors, so clients can tell "request rejected" from "peer died".
 	OpErr Op = 3
+	// OpBatch coalesces several push/pull sub-requests to the same server
+	// under one framed write, amortizing the per-message overhead θ the
+	// paper's §2.2 cost model charges every transfer. The payload is a
+	// concatenation of framed sub-messages (same wire format, recursively);
+	// the response is one OpBatch frame whose payload concatenates the
+	// framed sub-responses in request order. Each sub-request keeps its own
+	// Seq, stable across batch retries, so server-side push deduplication
+	// works per sub-message exactly as it does for singletons.
+	OpBatch Op = 4
 )
 
 // maxMessage bounds a single framed message (payload plus header).
@@ -58,10 +78,87 @@ type message struct {
 	Seq     uint64
 	Key     string
 	Payload []byte
+	// blocking marks a request whose response may legitimately wait on
+	// cross-worker aggregation (a pull, or a batch containing one), so the
+	// client applies the pull read deadline instead of the push deadline.
+	// Not serialized.
+	blocking bool
 }
 
 // fixedHeader is the length of the constant-size header prefix.
 const fixedHeader = 1 + 4 + 8 + 2
+
+// appendMessage frames m onto buf (the same wire format writeMessage
+// emits) and returns the extended slice — used to build OpBatch payloads.
+func appendMessage(buf []byte, m message) ([]byte, error) {
+	if len(m.Key) > 1<<16-1 {
+		return nil, fmt.Errorf("netps: key too long (%d bytes)", len(m.Key))
+	}
+	if len(m.Payload) > maxMessage {
+		return nil, fmt.Errorf("netps: payload too large (%d bytes)", len(m.Payload))
+	}
+	var fixed [fixedHeader]byte
+	fixed[0] = byte(m.Op)
+	binary.BigEndian.PutUint32(fixed[1:5], m.Iter)
+	binary.BigEndian.PutUint64(fixed[5:13], m.Seq)
+	binary.BigEndian.PutUint16(fixed[13:15], uint16(len(m.Key)))
+	buf = append(buf, fixed[:]...)
+	buf = append(buf, m.Key...)
+	var plen [4]byte
+	binary.BigEndian.PutUint32(plen[:], uint32(len(m.Payload)))
+	buf = append(buf, plen[:]...)
+	buf = append(buf, m.Payload...)
+	return buf, nil
+}
+
+// encodeBatch frames sub-messages into one OpBatch payload.
+func encodeBatch(subs []message) ([]byte, error) {
+	var buf []byte
+	for _, m := range subs {
+		var err error
+		if buf, err = appendMessage(buf, m); err != nil {
+			return nil, err
+		}
+	}
+	if len(buf) > maxMessage {
+		return nil, fmt.Errorf("netps: batch payload too large (%d bytes)", len(buf))
+	}
+	return buf, nil
+}
+
+// decodeBatch parses an OpBatch payload back into its framed sub-messages.
+func decodeBatch(payload []byte) ([]message, error) {
+	var subs []message
+	off := 0
+	for off < len(payload) {
+		if len(payload)-off < fixedHeader {
+			return nil, fmt.Errorf("netps: truncated batch sub-header at offset %d", off)
+		}
+		m := message{
+			Op:   Op(payload[off]),
+			Iter: binary.BigEndian.Uint32(payload[off+1 : off+5]),
+			Seq:  binary.BigEndian.Uint64(payload[off+5 : off+13]),
+		}
+		keyLen := int(binary.BigEndian.Uint16(payload[off+13 : off+15]))
+		off += fixedHeader
+		if len(payload)-off < keyLen+4 {
+			return nil, fmt.Errorf("netps: truncated batch sub-key at offset %d", off)
+		}
+		m.Key = string(payload[off : off+keyLen])
+		off += keyLen
+		payloadLen := int(binary.BigEndian.Uint32(payload[off : off+4]))
+		off += 4
+		if payloadLen > maxMessage || len(payload)-off < payloadLen {
+			return nil, fmt.Errorf("netps: truncated batch sub-payload at offset %d", off)
+		}
+		if payloadLen > 0 {
+			m.Payload = payload[off : off+payloadLen : off+payloadLen]
+		}
+		off += payloadLen
+		subs = append(subs, m)
+	}
+	return subs, nil
+}
 
 // writeMessage frames and writes one message.
 func writeMessage(w io.Writer, m message) error {

@@ -113,6 +113,8 @@ func (w *seqWindow) add(seq uint64, capacity int) (evicted bool) {
 type serverInstruments struct {
 	pushes         *metrics.Counter
 	pulls          *metrics.Counter
+	batches        *metrics.Counter
+	batchedMsgs    *metrics.Counter
 	dedupHits      *metrics.Counter
 	dedupEvictions *metrics.Counter
 	rejects        *metrics.Counter
@@ -136,6 +138,8 @@ func WithServerMetrics(reg *metrics.Registry) ServerOption {
 		s.inst = serverInstruments{
 			pushes:         reg.Counter("netps_server_pushes_total"),
 			pulls:          reg.Counter("netps_server_pulls_total"),
+			batches:        reg.Counter("netps_server_batches_total"),
+			batchedMsgs:    reg.Counter("netps_server_batched_msgs_total"),
 			dedupHits:      reg.Counter("netps_server_dedup_hits_total"),
 			dedupEvictions: reg.Counter("netps_server_dedup_evictions_total"),
 			rejects:        reg.Counter("netps_server_rejects_total"),
@@ -153,6 +157,17 @@ func WithDedupCap(n int) ServerOption {
 	return func(s *Server) {
 		if n > 0 {
 			s.dedupCap = n
+		}
+	}
+}
+
+// WithDedupClients overrides how many distinct client identities the dedup
+// table tracks (DefaultDedupClients); least-recently-active client windows
+// are evicted whole.
+func WithDedupClients(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.dedupClients = n
 		}
 	}
 }
@@ -302,6 +317,10 @@ func (s *Server) serve(conn net.Conn) {
 			if err := s.handlePull(conn, req); err != nil {
 				return
 			}
+		case OpBatch:
+			if err := s.handleBatch(conn, req); err != nil {
+				return
+			}
 		default:
 			// Protocol error: tell the peer, then drop the connection —
 			// framing may be out of sync.
@@ -318,21 +337,41 @@ func writeErr(conn net.Conn, req message, text string) error {
 
 // reject answers with OpErr and counts the rejection.
 func (s *Server) reject(conn net.Conn, req message, text string) error {
-	s.inst.rejects.Inc()
-	return writeErr(conn, req, text)
+	return writeMessage(conn, s.rejectMsg(req, text))
 }
 
-func (s *Server) handlePush(conn net.Conn, req message) error {
+// rejectMsg builds an OpErr response and counts the rejection — the
+// write-free half of reject, shared with the batch path.
+func (s *Server) rejectMsg(req message, text string) message {
+	s.inst.rejects.Inc()
+	return message{Op: OpErr, Iter: req.Iter, Seq: req.Seq, Key: req.Key, Payload: []byte(text)}
+}
+
+// pushAck is the empty-payload acknowledgement echoing a push's identity.
+func pushAck(req message) message {
+	return message{Op: OpPush, Iter: req.Iter, Seq: req.Seq, Key: req.Key}
+}
+
+// pullResp frames an aggregated payload as a pull response.
+func pullResp(req message, payload []byte) message {
+	return message{Op: OpPull, Iter: req.Iter, Seq: req.Seq, Key: req.Key, Payload: payload}
+}
+
+// processPush applies one push and returns its response (ack or OpErr)
+// plus any pull waiters to wake with the completed aggregate. Shared by
+// the singleton and batch paths; the caller wakes the waiters and writes
+// the response.
+func (s *Server) processPush(req message) (resp message, wake []chan []byte, result []byte) {
 	s.inst.pushes.Inc()
 	if len(req.Payload)%4 != 0 {
 		// The frame itself was well-formed, so the stream stays in sync:
 		// reject the request but keep the connection.
-		return s.reject(conn, req, "push payload not a float32 vector")
+		return s.rejectMsg(req, "push payload not a float32 vector"), nil, nil
 	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return s.reject(conn, req, errServerClosed)
+		return s.rejectMsg(req, errServerClosed), nil, nil
 	}
 	if req.Seq != 0 && s.dupPush(req.Seq) {
 		// Replayed push (client retried after a lost ack): acknowledge
@@ -341,7 +380,7 @@ func (s *Server) handlePush(conn net.Conn, req message) error {
 		// still recognized instead of corrupting a fresh aggregate.
 		s.mu.Unlock()
 		s.inst.dedupHits.Inc()
-		return writeMessage(conn, message{Op: OpPush, Iter: req.Iter, Seq: req.Seq, Key: req.Key})
+		return pushAck(req), nil, nil
 	}
 	e := s.entry(entryKey{req.Key, req.Iter})
 	if e.sum == nil {
@@ -349,13 +388,13 @@ func (s *Server) handlePush(conn net.Conn, req message) error {
 	}
 	if len(e.sum)*4 != len(req.Payload) {
 		s.mu.Unlock()
-		return s.reject(conn, req, fmt.Sprintf("push size mismatch for %s", req.Key))
+		return s.rejectMsg(req, fmt.Sprintf("push size mismatch for %s", req.Key)), nil, nil
 	}
 	if e.pushes >= s.workers {
 		// More pushes than workers for one (key, iter): a protocol misuse
 		// that would corrupt the aggregate other workers already pulled.
 		s.mu.Unlock()
-		return s.reject(conn, req, fmt.Sprintf("push overflow for %s (all %d workers already pushed)", req.Key, s.workers))
+		return s.rejectMsg(req, fmt.Sprintf("push overflow for %s (all %d workers already pushed)", req.Key, s.workers)), nil, nil
 	}
 	for i := range e.sum {
 		bits := binary.BigEndian.Uint32(req.Payload[i*4:])
@@ -365,44 +404,124 @@ func (s *Server) handlePush(conn net.Conn, req message) error {
 		s.recordPush(req.Seq)
 	}
 	e.pushes++
-	var wake []chan []byte
-	var result []byte
 	if e.pushes == s.workers {
 		wake = e.waiters
 		e.waiters = nil
 		result = encode(e.sum)
 	}
 	s.mu.Unlock()
+	return pushAck(req), wake, result
+}
+
+func (s *Server) handlePush(conn net.Conn, req message) error {
+	resp, wake, result := s.processPush(req)
 	for _, ch := range wake {
 		ch <- result
 	}
-	// Ack the push (empty payload).
-	return writeMessage(conn, message{Op: OpPush, Iter: req.Iter, Seq: req.Seq, Key: req.Key})
+	return writeMessage(conn, resp)
 }
 
-func (s *Server) handlePull(conn net.Conn, req message) error {
+// preparePull resolves one pull to exactly one of: a ready payload, a
+// channel to wait on (a nil receive means the server closed), or an error
+// response. Shared by the singleton and batch paths.
+func (s *Server) preparePull(req message) (payload []byte, wait chan []byte, errResp *message) {
 	s.inst.pulls.Inc()
-	k := entryKey{req.Key, req.Iter}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return s.reject(conn, req, errServerClosed)
+		m := s.rejectMsg(req, errServerClosed)
+		return nil, nil, &m
 	}
-	e := s.entry(k)
+	e := s.entry(entryKey{req.Key, req.Iter})
 	if e.pushes >= s.workers {
-		payload := encode(e.sum)
+		payload = encode(e.sum)
 		s.mu.Unlock()
-		return s.respondPull(conn, req, payload)
+		return payload, nil, nil
 	}
 	ch := make(chan []byte, 1)
 	e.waiters = append(e.waiters, ch)
 	s.mu.Unlock()
-	payload := <-ch
-	if payload == nil {
-		// Woken by Close: fail the pull instead of hanging the worker.
-		return s.reject(conn, req, errServerClosed)
+	return nil, ch, nil
+}
+
+func (s *Server) handlePull(conn net.Conn, req message) error {
+	payload, wait, errResp := s.preparePull(req)
+	if errResp != nil {
+		return writeMessage(conn, *errResp)
+	}
+	if wait != nil {
+		if payload = <-wait; payload == nil {
+			// Woken by Close: fail the pull instead of hanging the worker.
+			return s.reject(conn, req, errServerClosed)
+		}
 	}
 	return s.respondPull(conn, req, payload)
+}
+
+// handleBatch answers a coalesced OpBatch frame: every sub-request is
+// processed in order through the same push/pull logic as singletons
+// (including per-sub-push replay deduplication), then exactly one OpBatch
+// response carrying the framed sub-responses is written. Sub-pulls blocked
+// on aggregation delay the whole batch response — clients only batch pulls
+// whose keys become ready together.
+func (s *Server) handleBatch(conn net.Conn, req message) error {
+	subs, err := decodeBatch(req.Payload)
+	if err != nil {
+		// The envelope frame was well-formed, so the stream stays in sync.
+		return s.reject(conn, req, "malformed batch: "+err.Error())
+	}
+	s.inst.batches.Inc()
+	s.inst.batchedMsgs.Add(uint64(len(subs)))
+	resps := make([]message, len(subs))
+	waits := make([]chan []byte, len(subs))
+	for i, sub := range subs {
+		switch sub.Op {
+		case OpPush:
+			resp, wake, result := s.processPush(sub)
+			for _, ch := range wake {
+				ch <- result
+			}
+			resps[i] = resp
+		case OpPull:
+			payload, wait, errResp := s.preparePull(sub)
+			switch {
+			case errResp != nil:
+				resps[i] = *errResp
+			case wait != nil:
+				waits[i] = wait
+			default:
+				resps[i] = pullResp(sub, payload)
+			}
+		default:
+			// Includes nested OpBatch: one level of coalescing only.
+			resps[i] = s.rejectMsg(sub, "unbatchable op")
+		}
+	}
+	for i, wait := range waits {
+		if wait == nil {
+			continue
+		}
+		if payload := <-wait; payload == nil {
+			resps[i] = s.rejectMsg(subs[i], errServerClosed)
+		} else {
+			resps[i] = pullResp(subs[i], payload)
+		}
+	}
+	payload, err := encodeBatch(resps)
+	if err != nil {
+		return err
+	}
+	if err := writeMessage(conn, message{Op: OpBatch, Iter: req.Iter, Seq: req.Seq, Key: req.Key, Payload: payload}); err != nil {
+		return err
+	}
+	// Count served pulls only now that the combined response is on the
+	// wire — same rule as respondPull.
+	for i, sub := range subs {
+		if sub.Op == OpPull && resps[i].Op == OpPull {
+			s.countPullServed(sub)
+		}
+	}
+	return nil
 }
 
 // respondPull writes the aggregated payload and — only if the write
@@ -411,21 +530,28 @@ func (s *Server) handlePull(conn net.Conn, req message) error {
 // while a worker that never received the data retries its pull against a
 // fresh, empty entry.
 func (s *Server) respondPull(conn net.Conn, req message, payload []byte) error {
-	err := writeMessage(conn, message{Op: OpPull, Iter: req.Iter, Seq: req.Seq, Key: req.Key, Payload: payload})
-	if err != nil {
+	if err := writeMessage(conn, pullResp(req, payload)); err != nil {
 		return err
 	}
+	s.countPullServed(req)
+	return nil
+}
+
+// countPullServed performs the post-write pull bookkeeping: Seq-level
+// retry dedup, the served count, and entry reclamation once every worker
+// has been served.
+func (s *Server) countPullServed(req message) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	k := entryKey{req.Key, req.Iter}
 	e, ok := s.entries[k]
 	if !ok {
-		return nil
+		return
 	}
 	if req.Seq != 0 {
 		if _, dup := e.pullSeen[req.Seq]; dup {
 			s.inst.dedupHits.Inc()
-			return nil // retried pull: already counted
+			return // retried pull: already counted
 		}
 		if e.pullSeen == nil {
 			e.pullSeen = make(map[uint64]struct{})
@@ -437,7 +563,6 @@ func (s *Server) respondPull(conn net.Conn, req message, payload []byte) error {
 		delete(s.entries, k)
 		s.inst.entries.Set(int64(len(s.entries)))
 	}
-	return nil
 }
 
 func (s *Server) entry(k entryKey) *entry {

@@ -7,10 +7,13 @@
 //
 //   - push/update/pull with synchronous (wait for all workers) or
 //     asynchronous aggregation;
-//   - tensor-to-server assignment: the naïve whole-tensor round-robin that
-//     causes severe load imbalance when one tensor dominates (§6.2,
-//     Transformer/VGG16), versus partition-level spreading that balances
-//     load when the scheduler partitions tensors;
+//   - tensor-to-server assignment at two granularities (whole tensors, the
+//     MXNet default, versus independent partitions when the scheduler
+//     partitions tensors) under a pluggable placement Strategy: the naïve
+//     round-robin that causes severe load imbalance when one tensor
+//     dominates (§6.2, Transformer/VGG16), an online LPT size-balanced
+//     greedy that mitigates it, and a consistent hash-ring whose placement
+//     survives server churn (see Assigner);
 //   - partition-granularity pulls: a partition can be pulled as soon as it
 //     is aggregated, even if the rest of its tensor is still being pushed
 //     (Theorem 1, condition 3).
@@ -24,20 +27,22 @@ import (
 	"bytescheduler/internal/tensor"
 )
 
-// Assignment selects the tensor-to-server placement strategy.
+// Assignment selects the tensor-to-server placement granularity: what the
+// unit of assignment is. The placement algorithm over those units is chosen
+// separately by Config.Strategy (see Assigner).
 type Assignment int
 
 const (
-	// RoundRobinTensor assigns each whole tensor to one server in
-	// round-robin order of first use — MXNet's default, and the source of
-	// the paper's load imbalance when tensor sizes are skewed.
+	// RoundRobinTensor assigns each whole tensor to one server in order of
+	// first use — MXNet's default granularity, and the source of the
+	// paper's load imbalance when tensor sizes are skewed.
 	RoundRobinTensor Assignment = iota
-	// SpreadPartitions assigns each partition independently in round-robin
-	// order, so a partitioned large tensor spreads across all servers.
+	// SpreadPartitions assigns each partition independently, so a
+	// partitioned large tensor spreads across all servers.
 	SpreadPartitions
 )
 
-// String returns the assignment strategy name.
+// String returns the assignment granularity name.
 func (a Assignment) String() string {
 	switch a {
 	case RoundRobinTensor:
@@ -55,8 +60,16 @@ type Config struct {
 	// Servers is the number of parameter-server machines (fabric nodes
 	// Workers..Workers+Servers-1). The paper uses Servers == Workers.
 	Servers int
-	// Assignment is the tensor placement strategy.
+	// Assignment is the placement granularity: whole tensors
+	// (RoundRobinTensor) or independent partitions (SpreadPartitions).
 	Assignment Assignment
+	// Strategy is the placement algorithm over assignment units:
+	// round-robin (default, the paper's baseline), size-balanced LPT, or
+	// consistent hash-ring. See Strategy and Assigner.
+	Strategy Strategy
+	// Assigner, if non-nil, overrides Strategy with a custom placement
+	// implementation (e.g. a pre-built HashRing with a specific topology).
+	Assigner Assigner
 	// Async enables asynchronous training: a worker's pull becomes ready
 	// as soon as its own push is applied, without waiting for the other
 	// workers.
@@ -82,9 +95,9 @@ type Cluster struct {
 	fab *network.Fabric
 	cfg Config
 
+	assigner     Assigner
 	tensorServer map[tensorID]int
 	partServer   map[partID]int
-	nextServer   int
 
 	aggs      map[subKey]*aggState
 	recvBytes []int64 // per-server pushed bytes, for load accounting
@@ -147,10 +160,15 @@ func New(eng *sim.Engine, fab *network.Fabric, cfg Config) (*Cluster, error) {
 	if cfg.UpdateSecPerByte < 0 {
 		return nil, fmt.Errorf("ps: negative update cost")
 	}
+	assigner := cfg.Assigner
+	if assigner == nil {
+		assigner = NewAssigner(cfg.Strategy, cfg.Servers)
+	}
 	return &Cluster{
 		eng:          eng,
 		fab:          fab,
 		cfg:          cfg,
+		assigner:     assigner,
 		tensorServer: make(map[tensorID]int),
 		partServer:   make(map[partID]int),
 		aggs:         make(map[subKey]*aggState),
@@ -169,7 +187,8 @@ func (c *Cluster) ServerLoad() []int64 {
 }
 
 // ServerOf returns the server index (0-based) a partition is assigned to.
-// Assignment is sticky: the first call for a tensor/partition decides.
+// Assignment is sticky: the first call for a tensor/partition decides, by
+// consulting the configured Assigner once per unit and caching the result.
 func (c *Cluster) ServerOf(sub tensor.Sub) int {
 	tid := tensorID{sub.Parent.Layer, sub.Parent.Name}
 	switch c.cfg.Assignment {
@@ -178,20 +197,27 @@ func (c *Cluster) ServerOf(sub tensor.Sub) int {
 		if s, ok := c.partServer[pid]; ok {
 			return s
 		}
-		s := c.nextServer
-		c.nextServer = (c.nextServer + 1) % c.cfg.Servers
+		s := c.assigner.Assign(fmt.Sprintf("L%d/%s#%d", tid.layer, tid.name, sub.Index), sub.Bytes)
 		c.partServer[pid] = s
 		return s
 	default:
 		if s, ok := c.tensorServer[tid]; ok {
 			return s
 		}
-		s := c.nextServer
-		c.nextServer = (c.nextServer + 1) % c.cfg.Servers
+		s := c.assigner.Assign(fmt.Sprintf("L%d/%s", tid.layer, tid.name), sub.Parent.Bytes)
 		c.tensorServer[tid] = s
 		return s
 	}
 }
+
+// AssignerName reports the placement strategy in effect, e.g.
+// "size-balanced".
+func (c *Cluster) AssignerName() string { return c.assigner.Name() }
+
+// PlannedLoad returns the per-server bytes the assigner has placed so far —
+// the *planned* load, versus ServerLoad's observed pushed traffic (which
+// counts every worker's push and big-array stripes).
+func (c *Cluster) PlannedLoad() []int64 { return c.assigner.Load() }
 
 func (c *Cluster) serverNode(server int) int { return c.cfg.Workers + server }
 

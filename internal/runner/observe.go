@@ -33,6 +33,12 @@ func publishMetrics(reg *metrics.Registry, cfg Config, res Result, rec *trace.Re
 		// under-provisioned credit (pegged at 100%) from an oversized one.
 		reg.Gauge("core_credit_occupancy_bytes").SetMax(stats.MaxInflightBytes)
 	}
+	if res.LoadImbalance > 0 {
+		// PS load skew, in milli-units (gauges are integral): 1000 means
+		// perfectly balanced, higher means one server is hot-spotted.
+		reg.Gauge("ps_load_imbalance_milli").Set(int64(res.LoadImbalance * 1000))
+		reg.Gauge("ps_planned_imbalance_milli").Set(int64(res.PlannedImbalance * 1000))
+	}
 	reg.Counter("run_iterations_total").Add(uint64(cfg.Iterations))
 	reg.Gauge("run_samples_per_sec").Set(int64(res.SamplesPerSec))
 	reg.Histogram("run_iter_seconds").Observe(res.IterTime)

@@ -96,10 +96,17 @@ type Config struct {
 	// codec latency before it is announced. Orthogonal to scheduling
 	// (§8).
 	Compression *compress.Compressor
-	// Assignment overrides the PS tensor placement; nil selects the
-	// natural default — naive whole-tensor round-robin for unpartitioned
-	// policies, partition spreading when the policy partitions.
+	// Assignment overrides the PS tensor placement granularity; nil selects
+	// the natural default — whole tensors for unpartitioned policies,
+	// partition spreading when the policy partitions.
 	Assignment *ps.Assignment
+	// Placement selects the PS placement algorithm over assignment units:
+	// round-robin (zero value, the paper's baseline), size-balanced greedy
+	// (LPT), or consistent hash-ring. Ignored for all-reduce. This is the
+	// knob the paper's §6.2 load-imbalance analysis motivates: with skewed
+	// tensor sizes the baseline hot-spots one server, and the hottest
+	// server bounds cluster goodput.
+	Placement ps.Strategy
 	// Faults, if non-nil, injects deterministic fabric degradation
 	// (message drops, transient link outages, latency spikes) — the
 	// simulated mirror of the live stack's failure hardening. PS only:
@@ -162,6 +169,11 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("runner: unknown arch %d", int(c.Arch))
 	}
+	switch c.Placement {
+	case ps.StrategyRoundRobin, ps.StrategySizeBalanced, ps.StrategyHashRing:
+	default:
+		return fmt.Errorf("runner: unknown placement strategy %d", int(c.Placement))
+	}
 	if c.Faults != nil {
 		if c.Arch != PS {
 			return fmt.Errorf("runner: fault injection requires the PS fabric")
@@ -197,6 +209,10 @@ type Result struct {
 	// LoadImbalance is the PS max/mean received-byte ratio (0 for
 	// all-reduce).
 	LoadImbalance float64
+	// PlannedImbalance is max/mean of the assigner's planned per-server
+	// bytes (0 for all-reduce) — placement skew before big-array striping
+	// and multi-worker traffic smooth or amplify it.
+	PlannedImbalance float64
 	// GPUUtilization is worker 0's compute busy fraction; its complement
 	// is the communication stall scheduling exists to shrink.
 	GPUUtilization float64
@@ -253,6 +269,7 @@ func build(cfg Config, engCfg engine.Config) (*instance, error) {
 			Workers:          machines,
 			Servers:          machines,
 			Assignment:       assignment,
+			Strategy:         cfg.Placement,
 			Async:            cfg.Async,
 			UpdateSecPerByte: ps.DefaultUpdateSecPerByte,
 			ShardBytes:       psShardBytes,
@@ -269,6 +286,7 @@ func build(cfg Config, engCfg engine.Config) (*instance, error) {
 		inst.setParams = plug.SetParams
 		inst.collect = func(res *Result) error {
 			res.LoadImbalance = cluster.LoadImbalance()
+			res.PlannedImbalance = ps.Imbalance(cluster.PlannedLoad())
 			res.Faults = fab.FaultStats()
 			for w := 0; w < machines; w++ {
 				res.UpStats = addStats(res.UpStats, plug.UpScheduler(w).Stats())

@@ -1,6 +1,12 @@
-// Package trace records simulation timelines: named spans on named lanes
+// Package trace records execution timelines: named spans on named lanes
 // (one lane per worker resource), exportable as a Chrome trace-event JSON
 // file or rendered as an ASCII Gantt chart.
+//
+// Two clocks feed the same schema. Simulated runs record spans in virtual
+// seconds; Wall adapts the recorder to wall-clock time (seconds since an
+// epoch) for the live scheduler path, so a live trace and a simulated
+// trace of the same workload load into one Perfetto/chrome://tracing
+// timeline for side-by-side comparison (tuneviz -sim-trace/-live-trace).
 package trace
 
 import (
@@ -121,7 +127,7 @@ func (r *Recorder) Lanes() []string {
 type chromeEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`            // microseconds
+	Ts   float64        `json:"ts"`  // microseconds
 	Dur  float64        `json:"dur"` // microseconds; 0 for metadata events
 	PID  int            `json:"pid"`
 	TID  int            `json:"tid"`

@@ -1,0 +1,55 @@
+#!/bin/sh
+# checklinks.sh — validate relative markdown links in the repo docs.
+#
+# Extracts every inline markdown link [text](target) from the checked
+# documents, skips external targets (http/https/mailto) and pure
+# in-page anchors (#...), strips any #fragment, and verifies the target
+# exists on disk relative to the file containing the link. Exits non-zero
+# listing every broken link, so CI catches doc rot when files move.
+#
+# Usage: scripts/checklinks.sh [file-or-dir ...]
+#        (defaults to README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/)
+set -u
+
+targets="${*:-README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs}"
+
+files=""
+for t in $targets; do
+    if [ -d "$t" ]; then
+        files="$files $(find "$t" -name '*.md' | sort)"
+    elif [ -f "$t" ]; then
+        files="$files $t"
+    else
+        echo "checklinks: no such file or directory: $t" >&2
+        exit 2
+    fi
+done
+
+fail=0
+checked=0
+for f in $files; do
+    dir=$(dirname "$f")
+    # One link per line: grep the inline-link pattern, then peel off the
+    # "[text](" prefix and the trailing ")". Reference-style links and
+    # autolinks are out of scope (the docs do not use them).
+    links=$(grep -o '\[[^]]*\]([^)]*)' "$f" | sed 's/^\[[^]]*\](//; s/)$//')
+    for link in $links; do
+        case $link in
+        http://*|https://*|mailto:*) continue ;;  # external: not checked offline
+        '#'*) continue ;;                         # in-page anchor
+        esac
+        path=${link%%#*}                          # strip fragment
+        [ -n "$path" ] || continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ]; then
+            echo "checklinks: $f: broken link -> $link" >&2
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "checklinks: FAILED" >&2
+    exit 1
+fi
+echo "checklinks: OK ($checked relative links checked)"
