@@ -1,7 +1,7 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: build vet staticcheck test race docs verify bench
+.PHONY: build vet staticcheck test race docs verify bench bench-json
 
 build:
 	$(GO) build ./...
@@ -37,3 +37,12 @@ verify: build vet staticcheck race docs
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# bench-json regenerates the committed perf snapshot (BENCH_PR4.json): the
+# full quick suite on the parallel sweep engine, plus a serial reference
+# pass (-measure-serial) that both measures the parallel speedup and
+# verifies the parallel metrics are bitwise-identical to a serial run.
+# The snapshot records cores/workers/wall-clock/cache stats, so numbers
+# from different machines stay interpretable.
+bench-json:
+	$(GO) run ./cmd/benchsuite -run all -measure-serial -json BENCH_PR4.json

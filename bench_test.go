@@ -22,12 +22,15 @@ import (
 	"bytescheduler/internal/plugin"
 	"bytescheduler/internal/runner"
 	"bytescheduler/internal/sim"
+	"bytescheduler/internal/sweep"
 	"bytescheduler/internal/tensor"
 	"bytescheduler/internal/tune"
 )
 
 // benchExperiment runs one registered experiment per iteration and reports
-// the selected metrics.
+// the selected metrics. Every iteration gets a fresh trial engine with a
+// cold cache, so the reported time is the real cost of regenerating the
+// artifact (with GOMAXPROCS-wide trial parallelism), not a cache replay.
 func benchExperiment(b *testing.B, id string, metrics ...string) {
 	b.Helper()
 	exp, err := experiments.ByID(id)
@@ -36,7 +39,7 @@ func benchExperiment(b *testing.B, id string, metrics ...string) {
 	}
 	var last experiments.Table
 	for i := 0; i < b.N; i++ {
-		tab, err := exp.Run(experiments.Opts{Quick: true, Seed: 1})
+		tab, err := exp.Run(experiments.Opts{Quick: true, Seed: 1, Engine: sweep.New()})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -13,10 +13,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"bytescheduler/internal/experiments"
+	"bytescheduler/internal/sweep"
 )
 
 func main() {
@@ -26,6 +28,8 @@ func main() {
 		simTrace  = flag.String("sim-trace", "", "Chrome trace JSON from a simulated run")
 		liveTrace = flag.String("live-trace", "", "Chrome trace JSON from a live run")
 		width     = flag.Int("width", 100, "overlay chart width in columns")
+		parallel  = flag.Int("parallel", runtime.GOMAXPROCS(0),
+			"trial worker-pool size (1 = serial; results are identical at any value)")
 	)
 	flag.Parse()
 
@@ -39,7 +43,8 @@ func main() {
 		return
 	}
 
-	opts := experiments.Opts{Quick: !*full, Seed: *seed}
+	opts := experiments.Opts{Quick: !*full, Seed: *seed,
+		Engine: sweep.New(sweep.WithWorkers(*parallel))}
 
 	fig9, err := experiments.Fig09BOPosterior(opts)
 	if err != nil {

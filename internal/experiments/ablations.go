@@ -40,16 +40,23 @@ func AblationCredit(o Opts) (Table, error) {
 		Columns: []string{"credit", "samples/s", "iter_ms"},
 		Metrics: map[string]float64{},
 	}
-	var speeds []float64
-	for _, mult := range []int64{1, 2, 4, 8, 64} {
-		cfg := scheduledCfg(ablationBase(), unit, unit*mult)
-		res, err := runner.Run(cfg)
+	mults := []int64{1, 2, 4, 8, 64}
+	speeds := make([]float64, len(mults))
+	iterMS := make([]float64, len(mults))
+	if err := o.parallel(len(mults), func(i int) error {
+		res, err := o.run(scheduledCfg(ablationBase(), unit, unit*mults[i]))
 		if err != nil {
-			return Table{}, err
+			return err
 		}
-		speeds = append(speeds, res.SamplesPerSec)
+		speeds[i] = res.SamplesPerSec
+		iterMS[i] = res.IterTime * 1e3
+		return nil
+	}); err != nil {
+		return Table{}, err
+	}
+	for i, mult := range mults {
 		tab.Rows = append(tab.Rows, []string{
-			fmt.Sprintf("%dx partition", mult), f0(res.SamplesPerSec), f1(res.IterTime * 1e3),
+			fmt.Sprintf("%dx partition", mult), f0(speeds[i]), f1(iterMS[i]),
 		})
 	}
 	tab.Metrics["window_over_stopandwait_pct"] = speedupPct(speeds[0], speeds[2])
@@ -61,18 +68,18 @@ func AblationCredit(o Opts) (Table, error) {
 // AblationPartition isolates tensor partitioning: priority scheduling with
 // and without splitting tensors (the latter approximating TicTac).
 func AblationPartition(o Opts) (Table, error) {
-	base, err := runner.Run(ablationBase())
+	base, err := o.run(ablationBase())
 	if err != nil {
 		return Table{}, err
 	}
 	noPart := ablationBase()
 	noPart.Policy = core.TicTacLike()
 	noPart.Scheduled = true
-	prioOnly, err := runner.Run(noPart)
+	prioOnly, err := o.run(noPart)
 	if err != nil {
 		return Table{}, err
 	}
-	full, err := runner.Run(scheduledCfg(ablationBase(), 2<<20, 8<<20))
+	full, err := o.run(scheduledCfg(ablationBase(), 2<<20, 8<<20))
 	if err != nil {
 		return Table{}, err
 	}
@@ -100,11 +107,11 @@ func AblationPriority(o Opts) (Table, error) {
 	fifoPart := ablationBase()
 	fifoPart.Policy = fifoPartitioned(2<<20, 8<<20)
 	fifoPart.Scheduled = true
-	fifoRes, err := runner.Run(fifoPart)
+	fifoRes, err := o.run(fifoPart)
 	if err != nil {
 		return Table{}, err
 	}
-	prio, err := runner.Run(scheduledCfg(ablationBase(), 2<<20, 8<<20))
+	prio, err := o.run(scheduledCfg(ablationBase(), 2<<20, 8<<20))
 	if err != nil {
 		return Table{}, err
 	}
@@ -131,17 +138,17 @@ func AblationBarrier(o Opts) (Table, error) {
 	tf.Framework = plugin.TensorFlow
 	tf.Transport = network.TCP()
 	tf.BandwidthGbps = 25
-	base, err := runner.Run(tf)
+	base, err := o.run(tf)
 	if err != nil {
 		return Table{}, err
 	}
 	crossed := tf
 	crossed.Scheduled = true // per-layer dependencies, still FIFO order
-	crossedRes, err := runner.Run(crossed)
+	crossedRes, err := o.run(crossed)
 	if err != nil {
 		return Table{}, err
 	}
-	full, err := runner.Run(scheduledCfg(tf, 8<<20, 32<<20))
+	full, err := o.run(scheduledCfg(tf, 8<<20, 32<<20))
 	if err != nil {
 		return Table{}, err
 	}
@@ -173,28 +180,39 @@ func AblationCollective(o Opts) (Table, error) {
 		Columns: []string{"algorithm", "speed@4MB_partitions", "speed@64MB_partitions"},
 		Metrics: map[string]float64{},
 	}
+	algos := []allreduce.Algorithm{allreduce.RingAlgo, allreduce.HalvingDoubling, allreduce.DoubleTree}
+	parts := []int64{4 << 20, 64 << 20}
+	grid := make([]float64, len(algos)*len(parts))
+	if err := o.parallel(len(grid), func(k int) error {
+		algo, part := algos[k/len(parts)], parts[k%len(parts)]
+		cfg := runner.Config{
+			Model:         model.VGG16(),
+			Framework:     plugin.MXNet,
+			Arch:          runner.AllReduce,
+			Transport:     network.RDMA(),
+			BandwidthGbps: 100,
+			GPUs:          64,
+			Policy:        core.ByteScheduler(part, 4*part),
+			Scheduled:     true,
+			Collective:    algo,
+		}
+		res, err := o.run(cfg)
+		if err != nil {
+			return err
+		}
+		grid[k] = res.SamplesPerSec
+		return nil
+	}); err != nil {
+		return Table{}, err
+	}
 	speeds := map[string]map[int64]float64{}
-	for _, algo := range []allreduce.Algorithm{allreduce.RingAlgo, allreduce.HalvingDoubling, allreduce.DoubleTree} {
+	for ai, algo := range algos {
 		row := []string{algo.String()}
 		speeds[algo.String()] = map[int64]float64{}
-		for _, part := range []int64{4 << 20, 64 << 20} {
-			cfg := runner.Config{
-				Model:         model.VGG16(),
-				Framework:     plugin.MXNet,
-				Arch:          runner.AllReduce,
-				Transport:     network.RDMA(),
-				BandwidthGbps: 100,
-				GPUs:          64,
-				Policy:        core.ByteScheduler(part, 4*part),
-				Scheduled:     true,
-				Collective:    algo,
-			}
-			res, err := runner.Run(cfg)
-			if err != nil {
-				return Table{}, err
-			}
-			speeds[algo.String()][part] = res.SamplesPerSec
-			row = append(row, f0(res.SamplesPerSec))
+		for pi, part := range parts {
+			v := grid[ai*len(parts)+pi]
+			speeds[algo.String()][part] = v
+			row = append(row, f0(v))
 		}
 		tab.Rows = append(tab.Rows, row)
 	}
@@ -219,11 +237,11 @@ func AblationAsyncPS(o Opts) (Table, error) {
 	for _, async := range []bool{false, true} {
 		cfg := ablationBase()
 		cfg.Async = async
-		base, err := runner.Run(cfg)
+		base, err := o.run(cfg)
 		if err != nil {
 			return Table{}, err
 		}
-		sched, err := runner.Run(scheduledCfg(cfg, 2<<20, 8<<20))
+		sched, err := o.run(scheduledCfg(cfg, 2<<20, 8<<20))
 		if err != nil {
 			return Table{}, err
 		}

@@ -68,24 +68,49 @@ func ExtLoadBalance(o Opts) (Table, error) {
 		Columns: []string{"mode", "placement", "samples/s", "planned_imb", "observed_imb", "vs_round-robin"},
 		Metrics: map[string]float64{},
 	}
-	var rrSync runner.Result
-	for _, mode := range []struct {
+	modes := []struct {
 		label  string
 		suffix string
 		async  bool
 	}{
 		{"sync", "", false},
 		{"async", "_async", true},
-	} {
+	}
+	// The 2×3 mode/placement grid plus the ByteScheduler reference run are
+	// all independent trials: fan the 7 across the engine's pool and
+	// assemble rows in the original order afterwards.
+	grid := make([]runner.Result, len(modes)*len(strategies))
+	var sched runner.Result
+	if err := o.parallel(len(grid)+1, func(k int) error {
+		if k == len(grid) {
+			// Reference ceiling: ByteScheduler partitions and spreads,
+			// balancing by construction regardless of placement strategy.
+			res, err := o.run(scheduledCfg(base, 2<<20, 16<<20))
+			if err != nil {
+				return fmt.Errorf("bytescheduler: %w", err)
+			}
+			sched = res
+			return nil
+		}
+		mode := modes[k/len(strategies)]
+		st := strategies[k%len(strategies)]
+		cfg := base
+		cfg.Async = mode.async
+		cfg.Placement = st.s
+		res, err := o.run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s/%v: %w", mode.label, st.s, err)
+		}
+		grid[k] = res
+		return nil
+	}); err != nil {
+		return Table{}, err
+	}
+	var rrSync runner.Result
+	for mi, mode := range modes {
 		var rr runner.Result
 		for i, st := range strategies {
-			cfg := base
-			cfg.Async = mode.async
-			cfg.Placement = st.s
-			res, err := runner.Run(cfg)
-			if err != nil {
-				return Table{}, fmt.Errorf("%s/%v: %w", mode.label, st.s, err)
-			}
+			res := grid[mi*len(strategies)+i]
 			gain := "-"
 			if i == 0 {
 				rr = res
@@ -103,12 +128,6 @@ func ExtLoadBalance(o Opts) (Table, error) {
 				f1(res.PlannedImbalance), f1(res.LoadImbalance), gain,
 			})
 		}
-	}
-	// Reference ceiling: ByteScheduler partitions and spreads, balancing by
-	// construction regardless of the placement strategy.
-	sched, err := runner.Run(scheduledCfg(base, 2<<20, 16<<20))
-	if err != nil {
-		return Table{}, fmt.Errorf("bytescheduler: %w", err)
 	}
 	schedGain := speedupPct(rrSync.SamplesPerSec, sched.SamplesPerSec)
 	tab.Metrics["sched_gain_pct"] = schedGain

@@ -1,0 +1,9 @@
+//go:build !race
+
+package experiments
+
+// determinismSuiteIDs names the experiments the determinism test suite
+// verifies (parallel metrics bitwise-equal to serial at the same seed).
+// Without the race detector the suite covers every registered experiment;
+// a nil slice means "all of them".
+func determinismSuiteIDs() []string { return nil }

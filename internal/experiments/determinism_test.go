@@ -1,0 +1,132 @@
+// Determinism and cache-correctness suite for the sweep-engine rewiring.
+//
+// The contract under test is the one benchsuite -measure-serial enforces at
+// run time: for every registered experiment, executing on a parallel engine
+// (4 workers, cold cache) produces Table.Metrics bitwise-identical to a
+// serial engine (1 worker, cold cache) at the same seed — trial order,
+// worker interleaving, and cache hits must never leak into results. A
+// second set of tests checks the memoizing cache itself: a warm rerun
+// replays identical metrics while recording cache hits.
+//
+// Under -race the suite shrinks to a representative subset of experiments
+// (see determinism_ids_race_test.go); without -race it covers them all.
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"bytescheduler/internal/sweep"
+)
+
+// heavyDeterminism names the experiments whose quick sizing still costs
+// minutes per run: double-executing them inside go test would dominate the
+// whole suite's wall clock. They are skipped unless DETERMINISM_FULL=1;
+// the same serial-vs-parallel bitwise check runs over the complete
+// registry — these included — via `benchsuite -measure-serial`, which the
+// CI bench-smoke job executes.
+var heavyDeterminism = map[string]bool{"FIG4A": true, "FIG13": true, "FIG14": true}
+
+// determinismExperiments resolves the build-specific ID list to concrete
+// experiments (nil means every registered experiment).
+func determinismExperiments(t *testing.T) []Experiment {
+	t.Helper()
+	ids := determinismSuiteIDs()
+	if ids == nil {
+		return All()
+	}
+	var out []Experiment
+	for _, id := range ids {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// sameMetrics compares two metric maps for exact (bitwise) equality and
+// reports the first divergence.
+func sameMetrics(t *testing.T, label string, serial, parallel map[string]float64) {
+	t.Helper()
+	if len(serial) != len(parallel) {
+		t.Fatalf("%s: metric count diverged: serial %d vs parallel %d", label, len(serial), len(parallel))
+	}
+	for k, v := range serial {
+		w, ok := parallel[k]
+		if !ok {
+			t.Fatalf("%s: metric %q missing from parallel run", label, k)
+		}
+		if v != w {
+			t.Fatalf("%s: metric %q diverged: serial %v vs parallel %v", label, k, v, w)
+		}
+	}
+}
+
+// TestParallelMatchesSerial runs each experiment twice — once on a
+// 1-worker engine and once on a 4-worker engine, both with cold private
+// caches — and requires bitwise-identical metrics. Subtests run in
+// parallel with each other: each pair of engines is private, so the only
+// shared state is the scheduler/runner code under test, which is exactly
+// what the race detector should see contended.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, exp := range determinismExperiments(t) {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			if heavyDeterminism[exp.ID] && os.Getenv("DETERMINISM_FULL") == "" {
+				t.Skipf("%s costs minutes per run; set DETERMINISM_FULL=1, or rely on benchsuite -measure-serial (CI bench-smoke) which verifies it", exp.ID)
+			}
+			t.Parallel()
+			serial, err := exp.Run(Opts{Quick: true, Seed: 1,
+				Engine: sweep.New(sweep.WithWorkers(1))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := exp.Run(Opts{Quick: true, Seed: 1,
+				Engine: sweep.New(sweep.WithWorkers(4))})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameMetrics(t, exp.ID, serial.Metrics, par.Metrics)
+			if len(serial.Rows) != len(par.Rows) {
+				t.Fatalf("%s: row count diverged: serial %d vs parallel %d",
+					exp.ID, len(serial.Rows), len(par.Rows))
+			}
+		})
+	}
+}
+
+// TestEngineCacheCorrectness reruns one experiment on a warm engine: the
+// replayed metrics must be identical and the engine must report cache hits
+// (the rerun is served from memo, not recomputed), while the cold first
+// pass reports none of its trials as hits beyond intra-experiment reuse.
+func TestEngineCacheCorrectness(t *testing.T) {
+	exp, err := ByID("FIG2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sweep.New(sweep.WithWorkers(2))
+	cold, err := exp.Run(Opts{Quick: true, Seed: 1, Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trialsCold, hitsCold := eng.Stats()
+	if trialsCold == 0 {
+		t.Fatal("experiment ran no trials through the engine")
+	}
+	warm, err := exp.Run(Opts{Quick: true, Seed: 1, Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMetrics(t, "FIG2 warm rerun", cold.Metrics, warm.Metrics)
+	trialsWarm, hitsWarm := eng.Stats()
+	if hitsWarm <= hitsCold {
+		t.Fatalf("warm rerun recorded no cache hits: cold %d/%d, warm %d/%d",
+			trialsCold, hitsCold, trialsWarm, hitsWarm)
+	}
+	if got := hitsWarm - hitsCold; got != trialsWarm-trialsCold {
+		t.Fatalf("warm rerun recomputed trials: %d new trials but only %d hits",
+			trialsWarm-trialsCold, got)
+	}
+}

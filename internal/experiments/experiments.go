@@ -19,14 +19,55 @@ import (
 	"bytescheduler/internal/network"
 	"bytescheduler/internal/plugin"
 	"bytescheduler/internal/runner"
+	"bytescheduler/internal/sweep"
 )
 
-// Opts controls experiment sizing.
+// Opts controls experiment sizing and execution.
 type Opts struct {
 	// Quick shrinks grids and trial counts for CI and `go test -bench`.
 	Quick bool
 	// Seed seeds all stochastic components (tuners, jitter).
 	Seed int64
+	// Engine executes the experiment's independent simulation trials on a
+	// worker pool with a memoizing result cache. nil selects
+	// sweep.Default() (GOMAXPROCS workers, process-wide shared cache).
+	// Results are bitwise-identical for any pool size — per-trial
+	// randomness is derived from Seed, never from execution order.
+	Engine *sweep.Engine
+}
+
+// engine returns the configured trial engine, defaulting to the
+// process-wide one.
+func (o Opts) engine() *sweep.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return sweep.Default()
+}
+
+// run executes one trial through the engine (inline, memoized). Safe
+// inside parallel bodies.
+func (o Opts) run(cfg runner.Config) (runner.Result, error) {
+	return o.engine().Run(cfg)
+}
+
+// parallel fans fn(0..n-1) across the engine's worker pool. Bodies must
+// write results into index-addressed slots and must not call parallel
+// recursively (they may call run freely).
+func (o Opts) parallel(n int, fn func(i int) error) error {
+	return o.engine().Map(n, fn)
+}
+
+// speedWithParams is the engine-backed tuning objective: cfg under a
+// ByteScheduler policy with the given partition and credit sizes, memoized
+// by the engine's cache (BO re-probes and overlapping grid points are
+// computed once).
+func (o Opts) speedWithParams(cfg runner.Config, partition, credit int64) (float64, error) {
+	res, err := o.run(scheduledCfg(cfg, partition, credit))
+	if err != nil {
+		return 0, err
+	}
+	return res.SamplesPerSec, nil
 }
 
 // Table is a rendered experiment result.

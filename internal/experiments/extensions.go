@@ -107,7 +107,7 @@ func ExtLayerwisePartition(o Opts) (Table, error) {
 		cfg := base
 		cfg.Policy = tc.policy
 		cfg.Scheduled = true
-		res, err := runner.Run(cfg)
+		res, err := o.run(cfg)
 		if err != nil {
 			return Table{}, err
 		}
@@ -143,7 +143,7 @@ func ExtCompression(o Opts) (Table, error) {
 			cfg = scheduledCfg(cfg, 2<<20, 16<<20)
 		}
 		cfg.Compression = comp
-		res, err := runner.Run(cfg)
+		res, err := o.run(cfg)
 		if err != nil {
 			return 0, err
 		}
@@ -204,10 +204,12 @@ func ExtZooModels(o Opts) (Table, error) {
 		Columns: []string{"model", "params_M", "baseline", "bytescheduler", "gpu_util", "speedup"},
 		Metrics: map[string]float64{},
 	}
-	for _, mk := range []func() *model.Model{model.BERTBase, model.GNMT, model.InceptionV3} {
-		m := mk()
+	zoo := []func() *model.Model{model.BERTBase, model.GNMT, model.InceptionV3}
+	type pair struct{ base, sched runner.Result }
+	pairs := make([]pair, len(zoo))
+	if err := o.parallel(len(zoo), func(i int) error {
 		cfg := runner.Config{
-			Model:         m,
+			Model:         zoo[i](),
 			Framework:     plugin.MXNet,
 			Arch:          runner.PS,
 			Transport:     network.RDMA(),
@@ -215,14 +217,22 @@ func ExtZooModels(o Opts) (Table, error) {
 			GPUs:          gpus,
 			Policy:        core.FIFO(),
 		}
-		base, err := runner.Run(cfg)
+		base, err := o.run(cfg)
 		if err != nil {
-			return Table{}, err
+			return err
 		}
-		sched, err := runner.Run(scheduledCfg(cfg, 2<<20, 16<<20))
+		sched, err := o.run(scheduledCfg(cfg, 2<<20, 16<<20))
 		if err != nil {
-			return Table{}, err
+			return err
 		}
+		pairs[i] = pair{base, sched}
+		return nil
+	}); err != nil {
+		return Table{}, err
+	}
+	for i, mk := range zoo {
+		m := mk()
+		base, sched := pairs[i].base, pairs[i].sched
 		sp := speedupPct(base.SamplesPerSec, sched.SamplesPerSec)
 		tab.Rows = append(tab.Rows, []string{
 			m.Name, f0(float64(m.Params()) / 1e6),
@@ -257,7 +267,7 @@ func ExtCoScheduling(o Opts) (Table, error) {
 			Warmup:        2,
 		}
 	}
-	solo, err := runner.Run(mk(core.ByteScheduler(2<<20, 16<<20), true))
+	solo, err := o.run(mk(core.ByteScheduler(2<<20, 16<<20), true))
 	if err != nil {
 		return Table{}, err
 	}

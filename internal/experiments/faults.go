@@ -40,7 +40,7 @@ func ExtFaultTolerance(o Opts) (Table, error) {
 
 	run := func(cfg runner.Config, fc *network.FaultConfig) (runner.Result, error) {
 		cfg.Faults = fc
-		return runner.Run(cfg)
+		return o.run(cfg)
 	}
 
 	// Clean baselines first; the outage windows are sized from the clean
@@ -102,17 +102,39 @@ func ExtFaultTolerance(o Opts) (Table, error) {
 	}
 	addRow("clean", fifoClean, bsClean)
 
+	// The 5×2 scenario grid (each scenario under FIFO and ByteScheduler)
+	// fans out across the engine's pool; every trial gets its own copy of
+	// the fault config so nothing is shared between workers. Rows are
+	// assembled afterwards in scenario order.
+	type pair struct{ fifo, bs runner.Result }
+	pairs := make([]pair, len(scenarios))
+	if err := o.parallel(len(scenarios)*2, func(k int) error {
+		sc := scenarios[k/2]
+		fc := sc.fc
+		var res runner.Result
+		var err error
+		if k%2 == 0 {
+			res, err = run(base, &fc)
+			if err != nil {
+				return fmt.Errorf("%s/fifo: %w", sc.label, err)
+			}
+			pairs[k/2].fifo = res
+		} else {
+			res, err = run(scheduledCfg(base, partition, credit), &fc)
+			if err != nil {
+				return fmt.Errorf("%s/bytescheduler: %w", sc.label, err)
+			}
+			pairs[k/2].bs = res
+		}
+		return nil
+	}); err != nil {
+		return Table{}, err
+	}
+
 	worstBSDegr, minGain := 0.0, 1e18
 	minGain = speedupPct(fifoClean.SamplesPerSec, bsClean.SamplesPerSec)
-	for _, sc := range scenarios {
-		fifo, err := run(base, &sc.fc)
-		if err != nil {
-			return Table{}, fmt.Errorf("%s/fifo: %w", sc.label, err)
-		}
-		bs, err := run(scheduledCfg(base, partition, credit), &sc.fc)
-		if err != nil {
-			return Table{}, fmt.Errorf("%s/bytescheduler: %w", sc.label, err)
-		}
+	for i, sc := range scenarios {
+		fifo, bs := pairs[i].fifo, pairs[i].bs
 		addRow(sc.label, fifo, bs)
 		if d := degr(bsClean.SamplesPerSec, bs.SamplesPerSec); d > worstBSDegr {
 			worstBSDegr = d

@@ -28,11 +28,11 @@ func Fig02Contrived(o Opts) (Table, error) {
 		Iterations:    16,
 		Warmup:        4,
 	}
-	base, err := runner.Run(cfg)
+	base, err := o.run(cfg)
 	if err != nil {
 		return Table{}, err
 	}
-	sched, err := runner.Run(scheduledCfg(cfg, 1<<20, 4<<20))
+	sched, err := o.run(scheduledCfg(cfg, 1<<20, 4<<20))
 	if err != nil {
 		return Table{}, err
 	}
@@ -70,29 +70,56 @@ func Fig04aPartitionSweep(o Opts) (Table, error) {
 		Columns: []string{"partition_KB", "speed@1Gbps", "speed@10Gbps"},
 		Metrics: map[string]float64{},
 	}
-	speeds := map[float64][]float64{1: nil, 10: nil}
-	for _, kb := range sizesKB {
-		row := []string{fmt.Sprintf("%d", kb)}
-		for _, gbps := range []float64{1, 10} {
-			cfg := benchSetups()[0].config(model.VGG16(), 8, gbps)
-			cfg.Iterations, cfg.Warmup = 8, 2
-			cfg.Policy = fifoPartitioned(kb<<10, 0)
-			res, err := runner.Run(cfg)
-			if err != nil {
-				return Table{}, err
-			}
-			speeds[gbps] = append(speeds[gbps], res.SamplesPerSec)
-			row = append(row, f0(res.SamplesPerSec))
-		}
-		tab.Rows = append(tab.Rows, row)
+	grid, err := o.sweepGrid(sizesKB, func(kb int64, gbps float64) runner.Config {
+		cfg := benchSetups()[0].config(model.VGG16(), 8, gbps)
+		cfg.Iterations, cfg.Warmup = 8, 2
+		cfg.Policy = fifoPartitioned(kb<<10, 0)
+		return cfg
+	})
+	if err != nil {
+		return Table{}, err
 	}
-	for _, gbps := range []float64{1, 10} {
-		lo, hi := minMax(speeds[gbps])
+	for i, kb := range sizesKB {
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", kb), f0(grid[i][0]), f0(grid[i][1]),
+		})
+	}
+	for j, gbps := range sweepGbps {
+		col := make([]float64, len(sizesKB))
+		for i := range sizesKB {
+			col[i] = grid[i][j]
+		}
+		lo, hi := minMax(col)
 		tab.Metrics[fmt.Sprintf("spread_%.0fg", gbps)] = hi / lo
 	}
 	tab.Notes = append(tab.Notes,
 		"partition size matters much more at 10Gbps than at 1Gbps (per-message overhead)")
 	return tab, nil
+}
+
+// sweepGbps are the two bandwidth panels of Figure 4.
+var sweepGbps = []float64{1, 10}
+
+// sweepGrid evaluates a sizes×bandwidths grid of trials on the engine's
+// worker pool and returns speeds indexed [size][bandwidth]. Trials run in
+// any order; assembly is by index, so the grid is bitwise-identical to a
+// serial sweep.
+func (o Opts) sweepGrid(sizesKB []int64, mk func(kb int64, gbps float64) runner.Config) ([][]float64, error) {
+	grid := make([][]float64, len(sizesKB))
+	for i := range grid {
+		grid[i] = make([]float64, len(sweepGbps))
+	}
+	n := len(sizesKB) * len(sweepGbps)
+	err := o.parallel(n, func(k int) error {
+		i, j := k/len(sweepGbps), k%len(sweepGbps)
+		res, err := o.run(mk(sizesKB[i], sweepGbps[j]))
+		if err != nil {
+			return err
+		}
+		grid[i][j] = res.SamplesPerSec
+		return nil
+	})
+	return grid, err
 }
 
 // Fig04bCreditSweep reproduces Figure 4(b): speed across credit sizes with
@@ -108,24 +135,26 @@ func Fig04bCreditSweep(o Opts) (Table, error) {
 		Columns: []string{"credit_KB", "speed@1Gbps", "speed@10Gbps"},
 		Metrics: map[string]float64{},
 	}
-	speeds := map[float64][]float64{1: nil, 10: nil}
-	for _, kb := range creditsKB {
-		row := []string{fmt.Sprintf("%d", kb)}
-		for _, gbps := range []float64{1, 10} {
-			cfg := benchSetups()[0].config(model.VGG16(), 8, gbps)
-			cfg.Iterations, cfg.Warmup = 8, 2
-			cfg.Policy = fifoPartitioned(160<<10, kb<<10)
-			res, err := runner.Run(cfg)
-			if err != nil {
-				return Table{}, err
-			}
-			speeds[gbps] = append(speeds[gbps], res.SamplesPerSec)
-			row = append(row, f0(res.SamplesPerSec))
-		}
-		tab.Rows = append(tab.Rows, row)
+	grid, err := o.sweepGrid(creditsKB, func(kb int64, gbps float64) runner.Config {
+		cfg := benchSetups()[0].config(model.VGG16(), 8, gbps)
+		cfg.Iterations, cfg.Warmup = 8, 2
+		cfg.Policy = fifoPartitioned(160<<10, kb<<10)
+		return cfg
+	})
+	if err != nil {
+		return Table{}, err
 	}
-	for _, gbps := range []float64{1, 10} {
-		lo, hi := minMax(speeds[gbps])
+	for i, kb := range creditsKB {
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%d", kb), f0(grid[i][0]), f0(grid[i][1]),
+		})
+	}
+	for j, gbps := range sweepGbps {
+		col := make([]float64, len(creditsKB))
+		for i := range creditsKB {
+			col[i] = grid[i][j]
+		}
+		lo, hi := minMax(col)
 		tab.Metrics[fmt.Sprintf("spread_%.0fg", gbps)] = hi / lo
 	}
 	tab.Notes = append(tab.Notes,
@@ -150,7 +179,7 @@ func Fig09BOPosterior(o Opts) (Table, error) {
 	bo := tune.NewBO(bounds, o.Seed+9, tune.WithInitPoints(3))
 	objective := func(x []float64) float64 {
 		credit := int64(math.Round(math.Exp2(x[0])))
-		speed, err := runner.SpeedWithParams(cfg, partition, credit)
+		speed, err := o.speedWithParams(cfg, partition, credit)
 		if err != nil {
 			return 0
 		}
@@ -191,40 +220,67 @@ func figBenchmark(id string, m func() *model.Model, o Opts) (Table, error) {
 		Columns: []string{"setup", "gpus", "baseline", "bytescheduler", "linear", "p3", "speedup"},
 		Metrics: map[string]float64{},
 	}
+	// Every (setup, gpus) cell is independent: fan the 4·|setups| cells —
+	// each a baseline + scheduled (+ P3) trio of trials — across the
+	// engine's pool, then assemble rows in the original order.
+	setups := benchSetups()
+	type cell struct {
+		base, sched, linear float64
+		p3                  float64 // <0: not measured for this setup
+	}
+	cells := make([]cell, len(setups)*len(gpuCounts))
+	err := o.parallel(len(cells), func(k int) error {
+		s := setups[k/len(gpuCounts)]
+		gpus := gpuCounts[k%len(gpuCounts)]
+		cfg := s.config(m(), gpus, 100)
+		base, err := o.run(cfg)
+		if err != nil {
+			return err
+		}
+		partition, credit := calibratedParams(s.arch, m().Name)
+		sched, err := o.run(scheduledCfg(cfg, partition, credit))
+		if err != nil {
+			return err
+		}
+		c := cell{
+			base:   base.SamplesPerSec,
+			sched:  sched.SamplesPerSec,
+			linear: runner.LinearScaling(cfg),
+			p3:     -1,
+		}
+		if s.label == "MXNet PS TCP" {
+			p3cfg := cfg
+			p3cfg.Policy = core.P3()
+			p3cfg.Scheduled = true
+			p3res, err := o.run(p3cfg)
+			if err != nil {
+				return err
+			}
+			c.p3 = p3res.SamplesPerSec
+		}
+		cells[k] = c
+		return nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
 	var allSpeedups []float64
 	var p3Gaps []float64
-	for _, s := range benchSetups() {
+	for si, s := range setups {
 		var setupSpeedups []float64
-		for _, gpus := range gpuCounts {
-			cfg := s.config(m(), gpus, 100)
-			base, err := runner.Run(cfg)
-			if err != nil {
-				return Table{}, err
-			}
-			partition, credit := calibratedParams(s.arch, m().Name)
-			sched, err := runner.Run(scheduledCfg(cfg, partition, credit))
-			if err != nil {
-				return Table{}, err
-			}
-			linear := runner.LinearScaling(cfg)
+		for gi, gpus := range gpuCounts {
+			c := cells[si*len(gpuCounts)+gi]
 			p3Cell := "-"
-			if s.label == "MXNet PS TCP" {
-				p3cfg := cfg
-				p3cfg.Policy = core.P3()
-				p3cfg.Scheduled = true
-				p3res, err := runner.Run(p3cfg)
-				if err != nil {
-					return Table{}, err
-				}
-				p3Cell = f0(p3res.SamplesPerSec)
-				p3Gaps = append(p3Gaps, speedupPct(p3res.SamplesPerSec, sched.SamplesPerSec))
+			if c.p3 >= 0 {
+				p3Cell = f0(c.p3)
+				p3Gaps = append(p3Gaps, speedupPct(c.p3, c.sched))
 			}
-			sp := speedupPct(base.SamplesPerSec, sched.SamplesPerSec)
+			sp := speedupPct(c.base, c.sched)
 			setupSpeedups = append(setupSpeedups, sp)
 			allSpeedups = append(allSpeedups, sp)
 			tab.Rows = append(tab.Rows, []string{
 				s.label, fmt.Sprintf("%d", gpus),
-				f0(base.SamplesPerSec), f0(sched.SamplesPerSec), f0(linear), p3Cell, pct(sp),
+				f0(c.base), f0(c.sched), f0(c.linear), p3Cell, pct(sp),
 			})
 		}
 		lo, hi := minMax(setupSpeedups)
@@ -272,6 +328,25 @@ func Fig13Bandwidth(o Opts) (Table, error) {
 		Columns: []string{"model", "arch", "gbps", "baseline", "fixed", "tuned", "tuned_speedup"},
 		Metrics: map[string]float64{},
 	}
+	// batchObjective evaluates one tuner batch of (partition, credit)
+	// proposals concurrently on the engine's pool. Proposals and
+	// observations stay on this goroutine in a fixed order, so the search
+	// trajectory depends only on (seed, batch size) — never on worker
+	// scheduling. A failed trial scores 0, as in the sequential tuner.
+	batchObjective := func(cfg runner.Config) func(ps, cs []int64) []float64 {
+		return func(ps, cs []int64) []float64 {
+			ys := make([]float64, len(ps))
+			_ = o.parallel(len(ps), func(i int) error {
+				speed, err := o.speedWithParams(cfg, ps[i], cs[i])
+				if err != nil {
+					speed = 0
+				}
+				ys[i] = speed
+				return nil
+			})
+			return ys
+		}
+	}
 	for _, mk := range models {
 		for _, a := range archs {
 			mkCfg := func(gbps float64) runner.Config {
@@ -286,33 +361,22 @@ func Fig13Bandwidth(o Opts) (Table, error) {
 				}
 			}
 			// Tune once at 1Gbps; the "fixed" scheduler reuses those
-			// parameters at all bandwidths.
-			fixed := tune.PartitionCredit(tune.NewBO(tune.ParamBounds(), o.Seed+13),
-				func(p, c int64) float64 {
-					speed, err := runner.SpeedWithParams(mkCfg(1), p, c)
-					if err != nil {
-						return 0
-					}
-					return speed
-				}, trials)
+			// parameters at all bandwidths. Constant-liar batched BO keeps
+			// the pool fed during the search.
+			fixed := tune.PartitionCreditBatch(tune.NewBO(tune.ParamBounds(), o.Seed+13),
+				batchObjective(mkCfg(1)), trials, tune.DefaultBatch)
 			for _, gbps := range bandwidths {
 				cfg := mkCfg(gbps)
-				base, err := runner.Run(cfg)
+				base, err := o.run(cfg)
 				if err != nil {
 					return Table{}, err
 				}
-				fixedRes, err := runner.Run(scheduledCfg(cfg, fixed.Partition, fixed.Credit))
+				fixedRes, err := o.run(scheduledCfg(cfg, fixed.Partition, fixed.Credit))
 				if err != nil {
 					return Table{}, err
 				}
-				tuned := tune.PartitionCredit(tune.NewBO(tune.ParamBounds(), o.Seed+17),
-					func(p, c int64) float64 {
-						speed, err := runner.SpeedWithParams(cfg, p, c)
-						if err != nil {
-							return 0
-						}
-						return speed
-					}, trials)
+				tuned := tune.PartitionCreditBatch(tune.NewBO(tune.ParamBounds(), o.Seed+17),
+					batchObjective(cfg), trials, tune.DefaultBatch)
 				sp := speedupPct(base.SamplesPerSec, tuned.Speed)
 				tab.Rows = append(tab.Rows, []string{
 					mk().Name, a.label, f0(gbps),
@@ -363,6 +427,7 @@ func Fig14SearchCost(o Opts) (Table, error) {
 		Columns: []string{"setting", "bo", "sgd", "random", "grid"},
 		Metrics: map[string]float64{},
 	}
+	algos := []string{"bo", "sgd", "random", "grid"}
 	perAlgo := map[string][]float64{}
 	for _, st := range settings {
 		cfg := runner.Config{
@@ -374,45 +439,59 @@ func Fig14SearchCost(o Opts) (Table, error) {
 			GPUs:          16,
 			Policy:        core.FIFO(),
 		}
-		cache := map[[2]int64]float64{}
+		// The engine's memoizing cache replaces the old per-setting local
+		// map: every search rep below shares one set of trial executions,
+		// and overlapping probes across algorithms are computed once.
 		objective := func(x []float64) float64 {
 			p, c := tune.ParamsFromVector(x)
-			key := [2]int64{p, c}
-			if v, ok := cache[key]; ok {
-				return v
-			}
-			speed, err := runner.SpeedWithParams(cfg, p, c)
+			speed, err := o.speedWithParams(cfg, p, c)
 			if err != nil {
 				speed = 0
 			}
-			cache[key] = speed
 			return speed
 		}
 		// Grid search identifies the optimum (and its own search cost:
 		// trials until it first hits within tolerance of its final best).
+		// The full pass runs batched on the pool — a batched grid
+		// trajectory is identical to the sequential one.
 		grid := tune.NewGridSearch(tune.ParamBounds(), 5)
-		gridBest := tune.Run(grid, objective, grid.Points())
+		gridBest := tune.RunBatch(grid, func(xs [][]float64) []float64 {
+			ys := make([]float64, len(xs))
+			_ = o.parallel(len(xs), func(i int) error {
+				ys[i] = objective(xs[i])
+				return nil
+			})
+			return ys
+		}, grid.Points(), tune.DefaultBatch)
 		target := gridBest.Y * 0.99
 
-		row := []string{st.label}
-		for _, algo := range []string{"bo", "sgd", "random", "grid"} {
-			var trials []float64
-			for s := 0; s < seeds; s++ {
-				seed := o.Seed + int64(s)*101
-				var tn tune.Tuner
-				switch algo {
-				case "bo":
-					tn = tune.NewBO(tune.ParamBounds(), seed)
-				case "sgd":
-					tn = tune.NewSGDMomentum(tune.ParamBounds(), seed)
-				case "random":
-					tn = tune.NewRandomSearch(tune.ParamBounds(), seed)
-				case "grid":
-					tn = tune.NewGridSearch(tune.ParamBounds(), 5)
-				}
-				n, _ := tune.TrialsToReach(tn, objective, target, maxTrials)
-				trials = append(trials, float64(n))
+		// Each (algorithm, seed) search rep is an independent sequential
+		// trajectory over a pure (memoized) objective: fan the reps across
+		// the pool and assemble by index.
+		reps := make([]float64, len(algos)*seeds)
+		if err := o.parallel(len(reps), func(k int) error {
+			algo := algos[k/seeds]
+			seed := o.Seed + int64(k%seeds)*101
+			var tn tune.Tuner
+			switch algo {
+			case "bo":
+				tn = tune.NewBO(tune.ParamBounds(), seed)
+			case "sgd":
+				tn = tune.NewSGDMomentum(tune.ParamBounds(), seed)
+			case "random":
+				tn = tune.NewRandomSearch(tune.ParamBounds(), seed)
+			case "grid":
+				tn = tune.NewGridSearch(tune.ParamBounds(), 5)
 			}
+			n, _ := tune.TrialsToReach(tn, objective, target, maxTrials)
+			reps[k] = float64(n)
+			return nil
+		}); err != nil {
+			return Table{}, err
+		}
+		row := []string{st.label}
+		for ai, algo := range algos {
+			trials := reps[ai*seeds : (ai+1)*seeds]
 			mean, sd := stats.Mean(trials), stats.StdDev(trials)
 			row = append(row, fmt.Sprintf("%.1f±%.1f", mean, sd))
 			perAlgo[algo] = append(perAlgo[algo], mean)

@@ -27,36 +27,48 @@ func Tab01BestConfig(o Opts) (Table, error) {
 		Columns: []string{"model", "arch", "partition_MB", "credit_MB", "speed"},
 		Metrics: map[string]float64{},
 	}
-	for _, mk := range []func() *model.Model{model.VGG16, model.ResNet50, model.Transformer} {
-		for _, a := range []struct {
-			label string
-			arch  runner.Arch
-		}{{"PS", runner.PS}, {"NCCL", runner.AllReduce}} {
-			cfg := runner.Config{
-				Model:         mk(),
-				Framework:     plugin.MXNet,
-				Arch:          a.arch,
-				Transport:     network.RDMA(),
-				BandwidthGbps: 100,
-				GPUs:          gpus,
-				Policy:        core.FIFO(),
-			}
-			res := tune.PartitionCredit(tune.NewBO(tune.ParamBounds(), o.Seed+23),
-				func(p, c int64) float64 {
-					speed, err := runner.SpeedWithParams(cfg, p, c)
-					if err != nil {
-						return 0
-					}
-					return speed
-				}, trials)
-			tab.Rows = append(tab.Rows, []string{
-				mk().Name, a.label, mb(res.Partition), mb(res.Credit), f0(res.Speed),
-			})
-			tab.Metrics[fmt.Sprintf("%s_%s_partition_mb", mk().Name, a.label)] =
-				float64(res.Partition) / (1 << 20)
-			tab.Metrics[fmt.Sprintf("%s_%s_credit_mb", mk().Name, a.label)] =
-				float64(res.Credit) / (1 << 20)
+	models := []func() *model.Model{model.VGG16, model.ResNet50, model.Transformer}
+	archs := []struct {
+		label string
+		arch  runner.Arch
+	}{{"PS", runner.PS}, {"NCCL", runner.AllReduce}}
+	// The six tuning runs are independent: fan them across the engine's
+	// pool (each run's BO loop is sequential inside, probing through the
+	// shared memoizing cache) and assemble rows in the original order.
+	results := make([]tune.Result, len(models)*len(archs))
+	if err := o.parallel(len(results), func(k int) error {
+		mk := models[k/len(archs)]
+		a := archs[k%len(archs)]
+		cfg := runner.Config{
+			Model:         mk(),
+			Framework:     plugin.MXNet,
+			Arch:          a.arch,
+			Transport:     network.RDMA(),
+			BandwidthGbps: 100,
+			GPUs:          gpus,
+			Policy:        core.FIFO(),
 		}
+		results[k] = tune.PartitionCredit(tune.NewBO(tune.ParamBounds(), o.Seed+23),
+			func(p, c int64) float64 {
+				speed, err := o.speedWithParams(cfg, p, c)
+				if err != nil {
+					return 0
+				}
+				return speed
+			}, trials)
+		return nil
+	}); err != nil {
+		return Table{}, err
+	}
+	for k, res := range results {
+		mk, a := models[k/len(archs)], archs[k%len(archs)]
+		tab.Rows = append(tab.Rows, []string{
+			mk().Name, a.label, mb(res.Partition), mb(res.Credit), f0(res.Speed),
+		})
+		tab.Metrics[fmt.Sprintf("%s_%s_partition_mb", mk().Name, a.label)] =
+			float64(res.Partition) / (1 << 20)
+		tab.Metrics[fmt.Sprintf("%s_%s_credit_mb", mk().Name, a.label)] =
+			float64(res.Credit) / (1 << 20)
 	}
 	tab.Notes = append(tab.Notes,
 		"NCCL wants much larger partitions/credits than PS (per-collective synchronization cost)")
@@ -86,11 +98,11 @@ func TxtOtherModels(o Opts) (Table, error) {
 			GPUs:          gpus,
 			Policy:        core.FIFO(),
 		}
-		base, err := runner.Run(cfg)
+		base, err := o.run(cfg)
 		if err != nil {
 			return Table{}, err
 		}
-		sched, err := runner.Run(scheduledCfg(cfg, 2<<20, 8<<20))
+		sched, err := o.run(scheduledCfg(cfg, 2<<20, 8<<20))
 		if err != nil {
 			return Table{}, err
 		}
@@ -117,11 +129,11 @@ func TxtLoadBalance(o Opts) (Table, error) {
 		GPUs:          16,
 		Policy:        core.FIFO(),
 	}
-	base, err := runner.Run(cfg)
+	base, err := o.run(cfg)
 	if err != nil {
 		return Table{}, err
 	}
-	sched, err := runner.Run(scheduledCfg(cfg, 2<<20, 8<<20))
+	sched, err := o.run(scheduledCfg(cfg, 2<<20, 8<<20))
 	if err != nil {
 		return Table{}, err
 	}

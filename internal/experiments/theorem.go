@@ -103,17 +103,27 @@ func ThmOptimality(o Opts) (Table, error) {
 		Metrics: map[string]float64{},
 	}
 
-	prio, err := runner.Run(mkCfg(ideal, core.ByteScheduler(fine, fine)))
+	prio, err := o.run(mkCfg(ideal, core.ByteScheduler(fine, fine)))
 	if err != nil {
 		return Table{}, err
 	}
 	tab.Rows = append(tab.Rows, []string{"ideal transport", "layer priority", f1(prio.IterTime * 1e3), "Theorem 1 schedule"})
-	worstAdvantage := 0.0 // most any alternative beats priority, in ms
-	for _, alt := range alternatives {
-		res, err := runner.Run(mkCfg(ideal, alt))
+	// The alternative-order trials are independent (custom rank policies
+	// bypass the engine's cache but still ride its worker pool).
+	altRes := make([]runner.Result, len(alternatives))
+	if err := o.parallel(len(alternatives), func(i int) error {
+		res, err := o.run(mkCfg(ideal, alternatives[i]))
 		if err != nil {
-			return Table{}, err
+			return err
 		}
+		altRes[i] = res
+		return nil
+	}); err != nil {
+		return Table{}, err
+	}
+	worstAdvantage := 0.0 // most any alternative beats priority, in ms
+	for i, alt := range alternatives {
+		res := altRes[i]
 		adv := (prio.IterTime - res.IterTime) * 1e3
 		if adv > worstAdvantage {
 			worstAdvantage = adv
@@ -137,17 +147,32 @@ func ThmOptimality(o Opts) (Table, error) {
 	// fill) but leaves delay 3 (preemption granularity) to the credit
 	// discussion, so the overhead-free reference must use the same
 	// partition size — isolating exactly the bounded delays.
+	deltasMB := []int64{1, 4, 16}
+	type refPair struct{ ref, res runner.Result }
+	pairs := make([]refPair, len(deltasMB))
+	if err := o.parallel(len(deltasMB)*2, func(k int) error {
+		delta := deltasMB[k/2] << 20
+		if k%2 == 0 {
+			ref, err := o.run(mkCfg(overheadFree(prof), core.ByteScheduler(delta, delta)))
+			if err != nil {
+				return err
+			}
+			pairs[k/2].ref = ref
+		} else {
+			res, err := o.run(mkCfg(prof, core.ByteScheduler(delta, delta)))
+			if err != nil {
+				return err
+			}
+			pairs[k/2].res = res
+		}
+		return nil
+	}); err != nil {
+		return Table{}, err
+	}
 	worstRatio := 0.0
-	for _, deltaMB := range []int64{1, 4, 16} {
+	for di, deltaMB := range deltasMB {
 		delta := deltaMB << 20
-		ref, err := runner.Run(mkCfg(overheadFree(prof), core.ByteScheduler(delta, delta)))
-		if err != nil {
-			return Table{}, err
-		}
-		res, err := runner.Run(mkCfg(prof, core.ByteScheduler(delta, delta)))
-		if err != nil {
-			return Table{}, err
-		}
+		ref, res := pairs[di].ref, pairs[di].res
 		nPartitions := float64(layers * (layerSize / delta))
 		effDelta := delta
 		if effDelta > layerSize {

@@ -66,6 +66,12 @@ type entryKey struct {
 type entry struct {
 	sum    []float32
 	pushes int
+	// encoded caches the big-endian serialization of sum, computed once
+	// when aggregation completes (sum is frozen from then on: overflow
+	// pushes are rejected). Every pull response shares this one buffer —
+	// responses only ever read it — so serving W workers costs one float
+	// marshal total instead of one per pull.
+	encoded []byte
 	// pullSeen records which logical pulls were already counted as served,
 	// so a retried pull is re-answered without double-counting toward
 	// entry reclamation. Bounded by the entry's own lifecycle: the entry
@@ -407,7 +413,8 @@ func (s *Server) processPush(req message) (resp message, wake []chan []byte, res
 	if e.pushes == s.workers {
 		wake = e.waiters
 		e.waiters = nil
-		result = encode(e.sum)
+		e.encoded = encode(e.sum)
+		result = e.encoded
 	}
 	s.mu.Unlock()
 	return pushAck(req), wake, result
@@ -434,7 +441,10 @@ func (s *Server) preparePull(req message) (payload []byte, wait chan []byte, err
 	}
 	e := s.entry(entryKey{req.Key, req.Iter})
 	if e.pushes >= s.workers {
-		payload = encode(e.sum)
+		if e.encoded == nil {
+			e.encoded = encode(e.sum)
+		}
+		payload = e.encoded
 		s.mu.Unlock()
 		return payload, nil, nil
 	}

@@ -1,0 +1,60 @@
+package tune
+
+// BatchTuner extends Tuner with batched proposals so a parallel trial
+// engine can keep a whole worker pool fed: NextBatch proposes k
+// configurations at once, the caller evaluates them concurrently, and
+// ObserveBatch feeds all k results back.
+//
+// Determinism contract: proposals and observations happen on the driving
+// goroutine in a fixed order, so a batched search trajectory depends only
+// on (tuner seed, batch size) — never on which worker finished first. For
+// the same reason, batch size must be chosen independently of the pool
+// size (use DefaultBatch) when bitwise-reproducible results are required
+// across machines.
+//
+// Grid and random search are batch-aware for free (k independent draws /
+// the next k grid points). Bayesian optimization uses the constant-liar
+// heuristic (see BO.NextBatch). SGD-with-momentum is inherently sequential
+// (each probe depends on the previous observation) and intentionally does
+// not implement BatchTuner.
+//
+// A NextBatch call must be answered by exactly one ObserveBatch call with
+// the same proposals before the next NextBatch/Next; interleaving
+// un-answered batches is unsupported.
+type BatchTuner interface {
+	Tuner
+	// NextBatch proposes k configurations to evaluate concurrently.
+	// k < 1 is treated as 1.
+	NextBatch(k int) [][]float64
+	// ObserveBatch records the objective values for the configurations of
+	// the preceding NextBatch, in proposal order.
+	ObserveBatch(xs [][]float64, ys []float64)
+}
+
+// DefaultBatch is the standard proposal batch size for batched searches.
+// It is a fixed constant — not the worker count — so search trajectories
+// are identical on every machine regardless of available parallelism; the
+// engine simply fills at most DefaultBatch workers per round.
+const DefaultBatch = 4
+
+// RunBatch drives a batch tuner for up to n trials in rounds of k
+// proposals, evaluating each round with evalBatch (typically a parallel
+// map over a sweep engine), and returns the best sample found. evalBatch
+// must return one objective value per proposal, in proposal order. The
+// final round is truncated so exactly n trials are spent.
+func RunBatch(t BatchTuner, evalBatch func(xs [][]float64) []float64, n, k int) Sample {
+	if k < 1 {
+		k = 1
+	}
+	for done := 0; done < n; {
+		round := k
+		if n-done < round {
+			round = n - done
+		}
+		xs := t.NextBatch(round)
+		ys := evalBatch(xs)
+		t.ObserveBatch(xs, ys)
+		done += len(xs)
+	}
+	return t.Best()
+}

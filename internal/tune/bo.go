@@ -22,6 +22,7 @@ type BO struct {
 	ys   []float64
 	inc  best
 	next []float64 // normalized proposal awaiting observation
+	lies int       // trailing constant-liar entries in xs/ys (see NextBatch)
 	// perms holds one stratum permutation per dimension for the
 	// Latin-hypercube warmup.
 	perms [][]int
@@ -145,6 +146,52 @@ func (b *BO) Observe(x []float64, y float64) {
 	b.ys = append(b.ys, y)
 	b.inc.observe(x, y)
 	b.next = nil
+}
+
+// NextBatch implements BatchTuner with the constant-liar heuristic: each
+// of the k proposals is chosen by the usual warmup/EI rule, then recorded
+// against a "lie" — the incumbent best objective (0 before any real
+// observation) — so the surrogate treats the point as already evaluated
+// and the remaining proposals in the batch spread out instead of piling
+// onto the same EI maximum. ObserveBatch retracts the lies before
+// recording the true values, so the GP is only ever fit to real data plus
+// the current batch's in-flight lies.
+func (b *BO) NextBatch(k int) [][]float64 {
+	if k < 1 {
+		k = 1
+	}
+	lie := b.inc.sample.Y
+	if math.IsInf(lie, -1) {
+		lie = 0
+	}
+	out := make([][]float64, k)
+	for i := range out {
+		var u []float64
+		if len(b.xs) < b.initPoints {
+			u = b.warmupPoint(len(b.xs))
+		} else {
+			u = b.acquire()
+		}
+		out[i] = b.bounds.denormalize(u)
+		b.xs = append(b.xs, u)
+		b.ys = append(b.ys, lie)
+		b.lies++
+	}
+	return out
+}
+
+// ObserveBatch implements BatchTuner: it drops the constant-liar entries
+// appended by the preceding NextBatch, then records the true observations
+// in proposal order.
+func (b *BO) ObserveBatch(xs [][]float64, ys []float64) {
+	if b.lies > 0 {
+		b.xs = b.xs[:len(b.xs)-b.lies]
+		b.ys = b.ys[:len(b.ys)-b.lies]
+		b.lies = 0
+	}
+	for i := range xs {
+		b.Observe(xs[i], ys[i])
+	}
 }
 
 // Posterior evaluates the current surrogate at x (original units),

@@ -57,3 +57,24 @@ func PartitionCredit(t Tuner, objective func(partition, credit int64) float64, t
 	p, c := ParamsFromVector(bs.X)
 	return Result{Partition: p, Credit: c, Speed: bs.Y, Trials: trials}
 }
+
+// PartitionCreditBatch is the batched counterpart of PartitionCredit: the
+// tuner proposes configurations in rounds of batch (so a parallel engine
+// can evaluate a whole round concurrently), objective returns one speed
+// per proposed (partition, credit) pair in proposal order, and exactly
+// trials evaluations are spent (the last round is truncated). With
+// batch=1 the trajectory of a sequential-equivalent tuner (grid, random)
+// is identical to PartitionCredit's.
+func PartitionCreditBatch(t BatchTuner, objective func(partitions, credits []int64) []float64, trials, batch int) Result {
+	eval := func(xs [][]float64) []float64 {
+		ps := make([]int64, len(xs))
+		cs := make([]int64, len(xs))
+		for i, x := range xs {
+			ps[i], cs[i] = ParamsFromVector(x)
+		}
+		return objective(ps, cs)
+	}
+	bs := RunBatch(t, eval, trials, batch)
+	p, c := ParamsFromVector(bs.X)
+	return Result{Partition: p, Credit: c, Speed: bs.Y, Trials: trials}
+}

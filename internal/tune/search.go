@@ -39,13 +39,39 @@ func (r *RandomSearch) Observe(x []float64, y float64) { r.inc.observe(x, y) }
 // Best implements Tuner.
 func (r *RandomSearch) Best() Sample { return r.inc.sample }
 
+// NextBatch implements BatchTuner: k independent uniform draws, taken in
+// order from the tuner's RNG stream — the batched trajectory equals the
+// sequential one.
+func (r *RandomSearch) NextBatch(k int) [][]float64 {
+	if k < 1 {
+		k = 1
+	}
+	out := make([][]float64, k)
+	for i := range out {
+		out[i] = r.Next()
+	}
+	return out
+}
+
+// ObserveBatch implements BatchTuner.
+func (r *RandomSearch) ObserveBatch(xs [][]float64, ys []float64) {
+	for i := range xs {
+		r.Observe(xs[i], ys[i])
+	}
+}
+
 // GridSearch sweeps an even grid, one point per Next call, in row-major
-// order. After exhausting the grid it repeats the best row-major order scan
-// (further calls return the grid again), which in practice never happens —
-// the grid is the budget ceiling in the paper's comparison.
+// order (the last dimension varies fastest).
+//
+// Post-exhaustion wrap: after Points() proposals the scan wraps and
+// repeats the identical row-major pass — call Points()·m proposals and
+// every grid point has been proposed exactly m times. In the paper's
+// Figure 14 comparison the grid is the budget ceiling, so the wrap is a
+// documented safety behavior rather than a search strategy.
 type GridSearch struct {
 	bounds Bounds
 	steps  int
+	points int // cached steps^dims; Points() once cost a full product loop per Next call
 	idx    int
 	inc    best
 }
@@ -59,26 +85,25 @@ func NewGridSearch(bounds Bounds, steps int) *GridSearch {
 	if steps < 2 {
 		panic("tune: grid needs at least 2 steps per dimension")
 	}
-	return &GridSearch{bounds: bounds, steps: steps, inc: newBest()}
+	points := 1
+	for range bounds.Lo {
+		points *= steps
+	}
+	return &GridSearch{bounds: bounds, steps: steps, points: points, inc: newBest()}
 }
 
 // Name implements Tuner.
 func (g *GridSearch) Name() string { return "grid" }
 
-// Points returns the total number of grid points.
-func (g *GridSearch) Points() int {
-	n := 1
-	for range g.bounds.Lo {
-		n *= g.steps
-	}
-	return n
-}
+// Points returns the total number of grid points (cached at
+// construction).
+func (g *GridSearch) Points() int { return g.points }
 
 // Next implements Tuner.
 func (g *GridSearch) Next() []float64 {
 	d := g.bounds.Dims()
 	x := make([]float64, d)
-	rem := g.idx % g.Points()
+	rem := g.idx % g.points
 	for i := d - 1; i >= 0; i-- {
 		step := rem % g.steps
 		rem /= g.steps
@@ -93,6 +118,27 @@ func (g *GridSearch) Observe(x []float64, y float64) { g.inc.observe(x, y) }
 
 // Best implements Tuner.
 func (g *GridSearch) Best() Sample { return g.inc.sample }
+
+// NextBatch implements BatchTuner: the next k grid points in row-major
+// order, wrapping after exhaustion exactly like sequential Next — a full
+// pass in batches of any size visits each point exactly once.
+func (g *GridSearch) NextBatch(k int) [][]float64 {
+	if k < 1 {
+		k = 1
+	}
+	out := make([][]float64, k)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// ObserveBatch implements BatchTuner.
+func (g *GridSearch) ObserveBatch(xs [][]float64, ys []float64) {
+	for i := range xs {
+		g.Observe(xs[i], ys[i])
+	}
+}
 
 // SGDMomentum climbs the objective with finite-difference gradients and
 // momentum, restarting from a random point when progress stalls — the
