@@ -1,7 +1,8 @@
 GO ?= go
 STATICCHECK ?= staticcheck
+FUZZTIME ?= 20s
 
-.PHONY: build vet staticcheck test race docs verify bench bench-json
+.PHONY: build vet staticcheck test race fuzz docs verify bench bench-json
 
 build:
 	$(GO) build ./...
@@ -25,6 +26,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# fuzz runs a short smoke of every fuzz target (wire-protocol decoders:
+# arbitrary bytes may error but must never panic or over-allocate). Go
+# accepts one -fuzz target per invocation, so each runs separately for
+# $(FUZZTIME). The committed corpora under testdata/fuzz are replayed by
+# plain `go test` regardless; this target searches for new inputs.
+fuzz:
+	$(GO) test ./internal/netps -run '^$$' -fuzz '^FuzzDecodeMessage$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netps -run '^$$' -fuzz '^FuzzDecodeBatch$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/netar -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME)
+
 # docs validates the documentation set: vet keeps the package docs
 # compiling with the code they describe, and checklinks fails on any
 # relative markdown link whose target moved or was deleted.
@@ -32,8 +43,10 @@ docs: vet
 	sh scripts/checklinks.sh
 
 # verify is the CI gate: everything must build, pass vet + staticcheck,
-# pass the full test suite with the race detector on, and have intact docs.
-verify: build vet staticcheck race docs
+# pass the full test suite with the race detector on (./... includes the
+# live netps/netar transports and the runner's live harness), survive a
+# fuzz smoke on every wire decoder, and have intact docs.
+verify: build vet staticcheck race fuzz docs
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .

@@ -68,10 +68,16 @@ type snapshot struct {
 // runSuite executes the selected experiments on eng. With concurrent=true
 // the experiments run as goroutines (the engine's pool still bounds total
 // trial parallelism); results are always returned in selection order.
-func runSuite(selected []experiments.Experiment, opts experiments.Opts, concurrent bool) []expResult {
+// skipLive leaves live (wall-clock) experiments as zero results — used by
+// the serial reference pass, whose purpose is bitwise comparison, which
+// live measurements cannot satisfy.
+func runSuite(selected []experiments.Experiment, opts experiments.Opts, concurrent, skipLive bool) []expResult {
 	results := make([]expResult, len(selected))
 	if !concurrent {
 		for i, e := range selected {
+			if skipLive && e.Live() {
+				continue
+			}
 			start := time.Now()
 			tab, err := e.Run(opts)
 			results[i] = expResult{tab: tab, err: err, seconds: time.Since(start).Seconds()}
@@ -80,6 +86,9 @@ func runSuite(selected []experiments.Experiment, opts experiments.Opts, concurre
 	}
 	done := make([]chan struct{}, len(selected))
 	for i := range selected {
+		if skipLive && selected[i].Live() {
+			continue
+		}
 		done[i] = make(chan struct{})
 		go func(i int) {
 			defer close(done[i])
@@ -89,7 +98,9 @@ func runSuite(selected []experiments.Experiment, opts experiments.Opts, concurre
 		}(i)
 	}
 	for i := range done {
-		<-done[i]
+		if done[i] != nil {
+			<-done[i]
+		}
 	}
 	return results
 }
@@ -138,7 +149,7 @@ func main() {
 		serialOpts := experiments.Opts{Quick: !*full, Seed: *seed,
 			Engine: sweep.New(sweep.WithWorkers(1))}
 		start := time.Now()
-		serialResults = runSuite(selected, serialOpts, false)
+		serialResults = runSuite(selected, serialOpts, false, true)
 		serialWall = time.Since(start).Seconds()
 		for i, r := range serialResults {
 			if r.err != nil {
@@ -151,7 +162,7 @@ func main() {
 	eng := sweep.New(sweep.WithWorkers(*parallel))
 	opts := experiments.Opts{Quick: !*full, Seed: *seed, Engine: eng}
 	start := time.Now()
-	results := runSuite(selected, opts, eng.Workers() > 1)
+	results := runSuite(selected, opts, eng.Workers() > 1, false)
 	wall := time.Since(start).Seconds()
 
 	for i, r := range results {
@@ -168,10 +179,20 @@ func main() {
 		len(selected), wall, eng.Workers(), trials, hits)
 	if *measureSerial {
 		// The parallel pass must reproduce the serial pass exactly.
+		// Live experiments are wall-clock measurements and are excluded
+		// from the serial pass and the bitwise comparison.
 		for i := range results {
+			if selected[i].Live() {
+				continue
+			}
 			if !metricsEqual(serialResults[i].tab.Metrics, results[i].tab.Metrics) {
 				fmt.Fprintf(os.Stderr, "benchsuite: %s: parallel metrics diverge from serial run\n", selected[i].ID)
 				os.Exit(1)
+			}
+		}
+		for _, e := range selected {
+			if e.Live() {
+				fmt.Printf("serial reference: %s skipped (live wall-clock experiment, not bitwise-reproducible)\n", e.ID)
 			}
 		}
 		fmt.Printf("serial reference: %.1fs -> speedup %.2fx (metrics bitwise-identical)\n",

@@ -11,6 +11,8 @@
 //	bytesched -model VGG16 -gantt -iters 4
 //	bytesched -model VGG16 -metrics
 //	bytesched -model VGG16 -http :8080   # then: curl localhost:8080/metrics
+//	bytesched -backend ring -live-workers 3   # live ring all-reduce over TCP
+//	bytesched -backend ps -policy fifo        # live parameter server, unscheduled
 package main
 
 import (
@@ -20,7 +22,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	"bytescheduler/internal/core"
 	"bytescheduler/internal/metrics"
@@ -54,6 +58,17 @@ type options struct {
 	// address after the run completes (blocking until interrupted), so a
 	// scraper or profiler can inspect the finished run.
 	HTTP string
+	// Backend, when non-empty, runs a *live* training loop over real
+	// loopback TCP sockets instead of the simulator: "ps" (netps parameter
+	// server) or "ring" (netar segmented ring all-reduce).
+	Backend string
+	// LiveWorkers is the live worker (ring peer / PS client) count.
+	LiveWorkers int
+	// LiveLayers is the live model's per-layer gradient sizes in KB,
+	// comma-separated front to back.
+	LiveLayers string
+	// LiveCompute is the per-layer compute sleep for each pass.
+	LiveCompute time.Duration
 	// serveStarted, when non-nil, is invoked with the bound address instead
 	// of blocking in http.Serve — a hook for tests.
 	serveStarted func(addr string)
@@ -82,6 +97,12 @@ func main() {
 	flag.StringVar(&o.ChromeOut, "chrome-trace", "", "write a Chrome trace JSON to this file")
 	flag.BoolVar(&o.Metrics, "metrics", false, "print run metrics in Prometheus text format")
 	flag.StringVar(&o.HTTP, "http", "", "serve /metrics and /debug/pprof at this address after the run")
+	flag.StringVar(&o.Backend, "backend", "", "live transport over real TCP instead of simulation: ps or ring")
+	flag.IntVar(&o.LiveWorkers, "live-workers", 3, "live worker count (with -backend)")
+	flag.StringVar(&o.LiveLayers, "live-layers", "64,128,256,256,512,512",
+		"live per-layer gradient KB, front to back (with -backend)")
+	flag.DurationVar(&o.LiveCompute, "live-compute", 500*time.Microsecond,
+		"live per-layer compute sleep per pass (with -backend)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bytesched:", err)
@@ -90,6 +111,9 @@ func main() {
 }
 
 func run(o options) error {
+	if o.Backend != "" {
+		return runLive(o)
+	}
 	m, err := model.ByName(o.Model)
 	if err != nil {
 		return err
@@ -210,6 +234,135 @@ func run(o options) error {
 		fmt.Println()
 		fmt.Print(rec.Gantt(100))
 	}
+	if o.ChromeOut != "" {
+		f, err := os.Create(o.ChromeOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteChromeTrace(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", o.ChromeOut)
+	}
+	if o.Metrics {
+		fmt.Println()
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if o.HTTP != "" {
+		return serveMetrics(o, reg)
+	}
+	return nil
+}
+
+// livePolicy maps the -policy flag onto a live scheduling policy.
+func livePolicy(o options) (core.Policy, error) {
+	switch strings.ToLower(o.Policy) {
+	case "fifo":
+		return runner.LiveFIFO(), nil
+	case "p3":
+		return core.P3(), nil
+	case "tictac":
+		return core.TicTacLike(), nil
+	case "bytescheduler", "bs":
+		return core.ByteScheduler(int64(o.PartMB*(1<<20)), int64(o.CreditMB*(1<<20))), nil
+	}
+	return core.Policy{}, fmt.Errorf("unknown policy %q", o.Policy)
+}
+
+// parseLiveLayers parses the -live-layers KB list into per-layer bytes.
+func parseLiveLayers(s string) ([]int64, error) {
+	var out []int64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kb, err := strconv.ParseFloat(part, 64)
+		if err != nil || kb <= 0 {
+			return nil, fmt.Errorf("bad layer size %q (want positive KB)", part)
+		}
+		b := int64(kb*1024) / 4 * 4 // fp32-align
+		if b < 4 {
+			b = 4
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no layers in %q", s)
+	}
+	return out, nil
+}
+
+// runLive executes a live training loop over real loopback sockets (-backend)
+// and reports wall-clock speed against the unscheduled FIFO baseline on the
+// same topology.
+func runLive(o options) error {
+	backend, err := runner.ParseLiveBackend(o.Backend)
+	if err != nil {
+		return err
+	}
+	layers, err := parseLiveLayers(o.LiveLayers)
+	if err != nil {
+		return err
+	}
+	policy, err := livePolicy(o)
+	if err != nil {
+		return err
+	}
+	iters, warmup := o.Iters, o.Warmup
+	if iters < warmup+2 {
+		iters = warmup + 2
+	}
+	cfg := runner.LiveConfig{
+		Backend:         backend,
+		Workers:         o.LiveWorkers,
+		LayerBytes:      layers,
+		Policy:          policy,
+		Iterations:      iters,
+		Warmup:          warmup,
+		ForwardCompute:  o.LiveCompute,
+		BackwardCompute: o.LiveCompute,
+		Seed:            o.Seed,
+	}
+	var rec *trace.Recorder
+	if o.ChromeOut != "" {
+		rec = trace.New()
+		cfg.Trace = trace.NewWall(rec)
+	}
+	var reg *metrics.Registry
+	if o.Metrics || o.HTTP != "" {
+		reg = metrics.NewRegistry()
+		cfg.Metrics = reg
+	}
+
+	res, err := runner.RunLive(cfg)
+	if err != nil {
+		return err
+	}
+	baseCfg := cfg
+	baseCfg.Policy = runner.LiveFIFO()
+	baseCfg.Trace = nil
+	baseCfg.Metrics = nil
+	base, err := runner.RunLive(baseCfg)
+	if err != nil {
+		return err
+	}
+
+	var total int64
+	for _, b := range layers {
+		total += b
+	}
+	fmt.Printf("live %s x%d workers, %d layers (%.0f KB), policy=%s\n",
+		backend, cfg.Workers, len(layers), float64(total)/1024, policy.Name)
+	fmt.Printf("  iter:      %10.2f ms  (%s)\n", res.IterTime*1e3, policy.Name)
+	fmt.Printf("  baseline:  %10.2f ms  (fifo)\n", base.IterTime*1e3)
+	fmt.Printf("  speedup:   %+9.1f%% over unscheduled\n", (base.IterTime-res.IterTime)/res.IterTime*100)
+	fmt.Printf("  scheduler: %d partitions sent, %d preemptions\n",
+		res.Stats.SubsStarted, res.Stats.Preemptions)
+
 	if o.ChromeOut != "" {
 		f, err := os.Create(o.ChromeOut)
 		if err != nil {

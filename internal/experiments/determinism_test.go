@@ -74,6 +74,9 @@ func TestParallelMatchesSerial(t *testing.T) {
 	for _, exp := range determinismExperiments(t) {
 		exp := exp
 		t.Run(exp.ID, func(t *testing.T) {
+			if exp.Live() {
+				t.Skipf("%s measures the live network stack: wall-clock metrics are not bitwise-reproducible", exp.ID)
+			}
 			if heavyDeterminism[exp.ID] && os.Getenv("DETERMINISM_FULL") == "" {
 				t.Skipf("%s costs minutes per run; set DETERMINISM_FULL=1, or rely on benchsuite -measure-serial (CI bench-smoke) which verifies it", exp.ID)
 			}

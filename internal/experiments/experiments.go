@@ -166,10 +166,22 @@ func All() []Experiment {
 		{"EXT-COMPRESS", ExtCompression, "gradient compression x scheduling (§8)"},
 		{"EXT-ZOO", ExtZooModels, "extended model zoo (BERT, GNMT, Inception-v3)"},
 		{"EXT-FAULTS", ExtFaultTolerance, "fault injection: drops, outage, latency spikes (robustness)"},
+		{"EXT-RING", ExtLiveRing, "live ring all-reduce over TCP: scheduled vs FIFO (netar)"},
 		{"EXT-BALANCE", ExtLoadBalance, "PS placement strategies on power-law tensors (load balance)"},
 		{"THM1", ThmOptimality, "Theorem 1 optimality and the §4.1 overhead bound"},
 	}
 }
+
+// liveIDs marks experiments that execute on the real network stack
+// (wall-clock timings over loopback TCP) rather than the deterministic
+// simulator.
+var liveIDs = map[string]bool{"EXT-RING": true}
+
+// Live reports whether the experiment measures the live network stack.
+// Live metrics are measurements, not derivations: reruns produce
+// different bits, so the determinism harnesses (the serial-vs-parallel
+// suite, benchsuite -measure-serial) must skip the bitwise comparison.
+func (e Experiment) Live() bool { return liveIDs[e.ID] }
 
 // ByID returns the experiment with the given ID (case-insensitive).
 func ByID(id string) (Experiment, error) {

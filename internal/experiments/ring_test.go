@@ -1,0 +1,57 @@
+package experiments
+
+import "testing"
+
+// TestLiveRingMarkedLive pins the registry contract the determinism
+// harnesses rely on: EXT-RING is flagged live, the simulator experiments
+// are not.
+func TestLiveRingMarkedLive(t *testing.T) {
+	e, err := ByID("EXT-RING")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Live() {
+		t.Fatal("EXT-RING not marked live")
+	}
+	sim, err := ByID("FIG2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Live() {
+		t.Fatal("FIG2 marked live")
+	}
+}
+
+// TestLiveRingShape runs the live netar backend end-to-end and checks the
+// two claims EXT-RING exists for: scheduling beats the unscheduled FIFO
+// baseline on the same live topology, and the calibrated alpha-beta model
+// agrees with the live measurements within the stated tolerance.
+func TestLiveRingShape(t *testing.T) {
+	tab := runExp(t, ExtLiveRing)
+	if tab.Metrics["sched_iter_ms"] <= 0 || tab.Metrics["fifo_iter_ms"] <= 0 {
+		t.Fatalf("non-positive iteration times: %+v", tab.Metrics)
+	}
+	if tab.Metrics["subs_finished"] == 0 {
+		t.Fatal("scheduled run finished no sub-tasks")
+	}
+	// The paper's claim on a live wire: scheduled beats unscheduled on the
+	// same topology. The configured setup measures +20-27% on an idle
+	// machine; the assertion only demands a win, leaving the margin as
+	// headroom for noisy shared CI machines.
+	if sp := tab.Metrics["speedup_pct"]; sp <= 0 {
+		t.Fatalf("scheduled live ring did not beat FIFO: %.1f%%", sp)
+	}
+	// Sim-vs-live agreement: the calibrated cost model must predict an
+	// unseen collective size and the FIFO iteration period within 2.5x
+	// either way.
+	const tol = 2.5
+	for _, m := range []string{"collective_agreement_ratio", "iter_agreement_ratio"} {
+		r, ok := tab.Metrics[m]
+		if !ok {
+			t.Fatalf("missing metric %s", m)
+		}
+		if r < 1/tol || r > tol {
+			t.Fatalf("%s = %.2f, want within [%.2f, %.1f]", m, r, 1/tol, tol)
+		}
+	}
+}

@@ -1,0 +1,611 @@
+package netar
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bytescheduler/internal/metrics"
+	"bytescheduler/internal/stats"
+	"bytescheduler/internal/trace"
+)
+
+// Option configures a Peer.
+type Option func(*Peer)
+
+// WithSeed seeds the deterministic dial-backoff jitter (reproducible
+// tests).
+func WithSeed(seed int64) Option { return func(p *Peer) { p.rng = stats.NewRNG(seed) } }
+
+// WithMetrics instruments the peer against the given registry: per-op
+// latency histogram (netar_op_seconds), op/step/byte counters, segment
+// dedup and overflow-drop counters, step-timeout and remote-error
+// counters, and an in-flight collective gauge.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(p *Peer) {
+		if reg == nil {
+			p.inst = peerInstruments{}
+			return
+		}
+		p.inst = peerInstruments{
+			opSeconds:    reg.Histogram("netar_op_seconds"),
+			ops:          reg.Counter("netar_ops_total"),
+			steps:        reg.Counter("netar_steps_total"),
+			bytesSent:    reg.Counter("netar_sent_bytes_total"),
+			bytesRecv:    reg.Counter("netar_recv_bytes_total"),
+			dups:         reg.Counter("netar_dup_segments_total"),
+			drops:        reg.Counter("netar_dropped_segments_total"),
+			stepTimeouts: reg.Counter("netar_step_timeouts_total"),
+			remoteErrors: reg.Counter("netar_remote_errors_total"),
+			dialRetries:  reg.Counter("netar_dial_retries_total"),
+			inflight:     reg.Gauge("netar_inflight_ops"),
+		}
+	}
+}
+
+// WithTracer records every collective as a wall-clock span on the
+// "netar/r<rank>" lane — the live counterpart of the simulator's
+// all-reduce trace, in the same Chrome-trace schema.
+func WithTracer(w *trace.Wall) Option { return func(p *Peer) { p.tracer = w } }
+
+// peerInstruments are the peer's resolved metric handles; all nil (and
+// therefore no-ops) unless WithMetrics attached a registry.
+type peerInstruments struct {
+	opSeconds    *metrics.Histogram
+	ops          *metrics.Counter
+	steps        *metrics.Counter
+	bytesSent    *metrics.Counter
+	bytesRecv    *metrics.Counter
+	dups         *metrics.Counter
+	drops        *metrics.Counter
+	stepTimeouts *metrics.Counter
+	remoteErrors *metrics.Counter
+	dialRetries  *metrics.Counter
+	inflight     *metrics.Gauge
+}
+
+// slotKey addresses one expected ring segment: the payload of (key, iter)
+// at one position in the 2(M-1)-step schedule.
+type slotKey struct {
+	key  string
+	iter uint32
+	step uint16
+}
+
+// slot parks one segment (or one waiter) for a schedule position. The
+// channel has capacity 1 so the predecessor's reader can always deposit
+// and move on — the deadlock-avoidance invariant of the ring.
+type slot struct {
+	ch chan message
+}
+
+// Peer is one rank of a live segmented ring all-reduce. It listens for its
+// predecessor, dials its successor, and runs any number of concurrent
+// keyed collectives over those two persistent connections.
+//
+// The contract mirrors the simulator's collective: every peer must call
+// AllReduce with the same (key, iter) and the same vector length, exactly
+// once per collective. Distinct (key, iter) collectives may be issued
+// concurrently and in any per-peer order — segments are dispatched to
+// per-(key, iter, step) slots, not assumed to arrive in lockstep.
+type Peer struct {
+	rank int
+	size int
+
+	timeout     time.Duration
+	stepTimeout time.Duration
+	dialRetries int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	jitterFrac  float64
+	maxPending  int
+	inst        peerInstruments
+	tracer      *trace.Wall
+
+	seq atomic.Uint64
+
+	// sendMu serializes frame writes to the successor so concurrent
+	// collectives never interleave partial frames.
+	sendMu sync.Mutex
+	succ   net.Conn
+
+	mu        sync.Mutex
+	rng       *stats.RNG
+	ln        net.Listener
+	slots     map[slotKey]*slot
+	conns     map[net.Conn]struct{}
+	remoteErr error
+	closed    bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewPeer creates rank r of an M-peer ring. It does not touch the network
+// until Listen and Dial are called.
+func NewPeer(rank, size int, opts ...Option) (*Peer, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("netar: ring size %d < 1", size)
+	}
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("netar: rank %d outside ring of %d", rank, size)
+	}
+	p := &Peer{
+		rank:        rank,
+		size:        size,
+		timeout:     DefaultTimeout,
+		stepTimeout: DefaultStepTimeout,
+		dialRetries: DefaultDialRetries,
+		backoffBase: DefaultBackoffBase,
+		backoffMax:  DefaultBackoffMax,
+		jitterFrac:  DefaultBackoffJitter,
+		maxPending:  DefaultMaxPending,
+		slots:       make(map[slotKey]*slot),
+		conns:       make(map[net.Conn]struct{}),
+		done:        make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.rng == nil {
+		// Deterministic per-rank default so peer dial storms decorrelate
+		// even without explicit seeding.
+		p.rng = stats.NewRNG(int64(rank + 1))
+	}
+	return p, nil
+}
+
+// Rank returns the peer's ring position.
+func (p *Peer) Rank() int { return p.rank }
+
+// Size returns the ring size M.
+func (p *Peer) Size() int { return p.size }
+
+// Listen binds the peer's inbound endpoint (the one its predecessor
+// dials). Use addr "127.0.0.1:0" and Addr() to get the bound address.
+func (p *Peer) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("netar: peer closed")
+	}
+	if p.ln != nil {
+		p.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("netar: already listening")
+	}
+	p.ln = ln
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the bound listen address, or "" before Listen.
+func (p *Peer) Addr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// Dial connects to the ring successor, retrying with exponential backoff
+// and deterministic jitter — ring bring-up is inherently racy, every peer
+// dials while its successor is still binding. It also starts the OpErr
+// monitor on the outbound connection, so a successor that rejects our
+// segments surfaces as an error on subsequent sends instead of a silent
+// desync.
+func (p *Peer) Dial(succAddr string) error {
+	var conn net.Conn
+	var err error
+	for attempt := 0; ; attempt++ {
+		if p.isClosed() {
+			return fmt.Errorf("netar: peer closed")
+		}
+		if p.timeout > 0 {
+			conn, err = net.DialTimeout("tcp", succAddr, p.timeout)
+		} else {
+			conn, err = net.Dial("tcp", succAddr)
+		}
+		if err == nil {
+			break
+		}
+		if attempt >= p.dialRetries {
+			return fmt.Errorf("netar: dial successor %s: %w", succAddr, err)
+		}
+		p.inst.dialRetries.Inc()
+		p.backoff(attempt)
+	}
+	p.sendMu.Lock()
+	if p.succ != nil {
+		p.sendMu.Unlock()
+		conn.Close()
+		return fmt.Errorf("netar: already dialed")
+	}
+	p.succ = conn
+	p.sendMu.Unlock()
+	if p.isClosed() {
+		conn.Close()
+		return fmt.Errorf("netar: peer closed")
+	}
+	p.wg.Add(1)
+	go p.monitorLoop(conn)
+	return nil
+}
+
+// backoff sleeps the exponential, jittered delay for the given attempt.
+func (p *Peer) backoff(attempt int) {
+	d := p.backoffBase << uint(attempt)
+	if p.backoffMax > 0 && (d > p.backoffMax || d <= 0) {
+		d = p.backoffMax
+	}
+	if d <= 0 {
+		return
+	}
+	p.mu.Lock()
+	jitter := p.rng.Jitter(p.jitterFrac)
+	p.mu.Unlock()
+	select {
+	case <-time.After(time.Duration(float64(d) * jitter)):
+	case <-p.done:
+	}
+}
+
+func (p *Peer) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// acceptLoop accepts inbound connections (the predecessor, plus any
+// reconnects) and spawns a dedicated reader per connection.
+func (p *Peer) acceptLoop(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.readLoop(conn)
+	}
+}
+
+// readLoop drains one inbound connection, dispatching segments to their
+// (key, iter, step) slots. A dedicated reader per connection is the
+// deadlock-avoidance invariant: a step's send can never block forever on
+// the ring's cyclic dependency, because the successor's reader always
+// consumes.
+func (p *Peer) readLoop(conn net.Conn) {
+	defer p.wg.Done()
+	defer func() {
+		p.mu.Lock()
+		delete(p.conns, conn)
+		p.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		m, err := readMessage(conn)
+		if err != nil {
+			return
+		}
+		switch m.Op {
+		case OpData:
+			if !p.deliver(m) {
+				// Pending table full: tell the predecessor its segment was
+				// rejected, then drop the connection — its framing is no
+				// longer trusted to stay in sync with our slot state.
+				p.inst.drops.Inc()
+				p.notifyErr(conn, message{
+					Op:      OpErr,
+					Iter:    m.Iter,
+					Key:     m.Key,
+					Payload: []byte(fmt.Sprintf("netar: rank %d pending table full (%d slots)", p.rank, p.maxPending)),
+				})
+				return
+			}
+		default:
+			// Unknown op: the stream framing may be out of sync; report and
+			// drop the connection rather than misparse everything after it.
+			p.notifyErr(conn, message{
+				Op:      OpErr,
+				Payload: []byte(fmt.Sprintf("netar: rank %d unknown op %d", p.rank, m.Op)),
+			})
+			return
+		}
+	}
+}
+
+// notifyErr best-effort writes an OpErr frame back to the predecessor on
+// the inbound connection (the only traffic that flows "backwards"); the
+// caller drops the connection right after, so failures are ignored.
+func (p *Peer) notifyErr(conn net.Conn, m message) {
+	if p.timeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(p.timeout))
+	}
+	_ = writeMessage(conn, m)
+}
+
+// monitorLoop drains the outbound connection for OpErr notifications from
+// the successor (the only traffic that flows "backwards" on the ring).
+func (p *Peer) monitorLoop(conn net.Conn) {
+	defer p.wg.Done()
+	for {
+		m, err := readMessage(conn)
+		if err != nil {
+			return
+		}
+		if m.Op == OpErr {
+			p.inst.remoteErrors.Inc()
+			p.mu.Lock()
+			if p.remoteErr == nil {
+				p.remoteErr = fmt.Errorf("netar: successor rejected segment: %s", string(m.Payload))
+			}
+			p.mu.Unlock()
+		}
+	}
+}
+
+// deliver parks a segment in its slot (creating the slot if the local
+// collective has not reached that step yet). It reports false when the
+// bounded pending table is full; duplicate segments for an already-filled
+// slot are counted and dropped — the Seq-dedup analogue for a
+// persistent-connection transport.
+func (p *Peer) deliver(m message) bool {
+	k := slotKey{key: m.Key, iter: m.Iter, step: m.Step}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return true
+	}
+	s, ok := p.slots[k]
+	if !ok {
+		if len(p.slots) >= p.maxPending {
+			p.mu.Unlock()
+			return false
+		}
+		s = &slot{ch: make(chan message, 1)}
+		p.slots[k] = s
+	}
+	p.mu.Unlock()
+	select {
+	case s.ch <- m:
+	default:
+		p.inst.dups.Inc()
+	}
+	return true
+}
+
+// waiterSlot returns the slot for k, creating it if the segment has not
+// arrived yet. Waiter-created slots are exempt from the MaxPending bound:
+// waiters are bounded by the caller's own concurrency (the scheduler's
+// credit), not by a remote peer.
+func (p *Peer) waiterSlot(k slotKey) (*slot, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("netar: peer closed")
+	}
+	s, ok := p.slots[k]
+	if !ok {
+		s = &slot{ch: make(chan message, 1)}
+		p.slots[k] = s
+	}
+	return s, nil
+}
+
+// dropSlot removes k from the pending table.
+func (p *Peer) dropSlot(k slotKey) {
+	p.mu.Lock()
+	delete(p.slots, k)
+	p.mu.Unlock()
+}
+
+// sendSegment frames and writes one ring segment to the successor under
+// the write deadline. Concurrent collectives serialize here so frames
+// never interleave.
+func (p *Peer) sendSegment(key string, iter uint32, step uint16, chunk uint16, payload []byte) error {
+	m := message{
+		Op:      OpData,
+		Iter:    iter,
+		Seq:     p.seq.Add(1),
+		Step:    step,
+		Chunk:   chunk,
+		Key:     key,
+		Payload: payload,
+	}
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	if p.succ == nil {
+		return fmt.Errorf("netar: not dialed")
+	}
+	p.mu.Lock()
+	rerr := p.remoteErr
+	closed := p.closed
+	p.mu.Unlock()
+	if rerr != nil {
+		return rerr
+	}
+	if closed {
+		return fmt.Errorf("netar: peer closed")
+	}
+	if p.timeout > 0 {
+		p.succ.SetWriteDeadline(time.Now().Add(p.timeout))
+	}
+	if err := writeMessage(p.succ, m); err != nil {
+		return fmt.Errorf("netar: send step %d to successor: %w", step, err)
+	}
+	p.inst.steps.Inc()
+	p.inst.bytesSent.Add(uint64(len(payload)))
+	return nil
+}
+
+// recvSegment blocks until the predecessor's segment for (key, iter, step)
+// arrives, the step timeout fires, or the peer closes. It verifies the
+// received chunk index and length against the schedule, catching ring
+// misconfiguration (wrong rank order, mismatched sizes) at the first step
+// instead of as silently wrong sums.
+func (p *Peer) recvSegment(key string, iter uint32, step uint16, wantChunk uint16, wantLen int) ([]float32, error) {
+	k := slotKey{key: key, iter: iter, step: step}
+	s, err := p.waiterSlot(k)
+	if err != nil {
+		return nil, err
+	}
+	var timeout <-chan time.Time
+	if p.stepTimeout > 0 {
+		t := time.NewTimer(p.stepTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case m := <-s.ch:
+		p.dropSlot(k)
+		if m.Chunk != wantChunk {
+			return nil, fmt.Errorf("netar: step %d of %s#%d: got chunk %d, schedule expects %d (ring misconfigured?)",
+				step, key, iter, m.Chunk, wantChunk)
+		}
+		vals, err := decodeFloats(m.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) != wantLen {
+			return nil, fmt.Errorf("netar: step %d of %s#%d: chunk %d has %d values, want %d (vector length mismatch?)",
+				step, key, iter, m.Chunk, len(vals), wantLen)
+		}
+		p.inst.bytesRecv.Add(uint64(len(m.Payload)))
+		return vals, nil
+	case <-p.done:
+		p.dropSlot(k)
+		return nil, fmt.Errorf("netar: peer closed while waiting for step %d of %s#%d", step, key, iter)
+	case <-timeout:
+		p.dropSlot(k)
+		p.inst.stepTimeouts.Inc()
+		return nil, fmt.Errorf("netar: timeout after %v waiting for step %d of %s#%d (dead peer?)",
+			p.stepTimeout, step, key, iter)
+	}
+}
+
+// mod is the positive remainder of a modulo m.
+func mod(a, m int) int { return ((a % m) + m) % m }
+
+// AllReduce runs one segmented ring collective: the element-wise sum of
+// every peer's data vector, returned to every peer. All peers must call it
+// with the same (key, iter) and the same vector length, exactly once per
+// collective; distinct (key, iter) collectives may run concurrently.
+// Because AllReduce blocks until every peer participates, peers that issue
+// collectives strictly sequentially must agree on the order; issuing them
+// from concurrent goroutines (as the core scheduler does, one per
+// partition) is order-free — the keyed slots pair up segments however they
+// interleave.
+//
+// The schedule is the bandwidth-optimal reduce-scatter + all-gather: in
+// reduce-scatter step s, rank r sends chunk (r-s) mod M and accumulates
+// chunk (r-s-1) mod M, so after M-1 steps rank r holds the fully reduced
+// chunk (r+1) mod M; all-gather then circulates the reduced chunks.
+func (p *Peer) AllReduce(key string, iter uint32, data []float32) ([]float32, error) {
+	start := time.Now()
+	p.inst.ops.Inc()
+	p.inst.inflight.Inc()
+	out, err := p.allReduce(key, iter, data)
+	p.inst.inflight.Dec()
+	p.inst.opSeconds.Observe(time.Since(start).Seconds())
+	if p.tracer != nil {
+		p.tracer.Add(fmt.Sprintf("netar/r%d", p.rank),
+			fmt.Sprintf("allreduce %s#%d", key, iter),
+			start, time.Now())
+	}
+	return out, err
+}
+
+func (p *Peer) allReduce(key string, iter uint32, data []float32) ([]float32, error) {
+	acc := make([]float32, len(data))
+	copy(acc, data)
+	if p.size == 1 {
+		return acc, nil
+	}
+	if p.isClosed() {
+		return nil, fmt.Errorf("netar: peer closed")
+	}
+	m := p.size
+	bounds := chunkBounds(len(acc), m)
+	// Reduce-scatter: after step s every rank has accumulated one more
+	// partial sum; after M-1 steps rank r owns the fully reduced chunk
+	// (r+1) mod M.
+	for s := 0; s < m-1; s++ {
+		sendChunk := mod(p.rank-s, m)
+		recvChunk := mod(p.rank-s-1, m)
+		seg := acc[bounds[sendChunk]:bounds[sendChunk+1]]
+		if err := p.sendSegment(key, iter, uint16(s), uint16(sendChunk), encodeFloats(seg)); err != nil {
+			return nil, err
+		}
+		vals, err := p.recvSegment(key, iter, uint16(s), uint16(recvChunk), bounds[recvChunk+1]-bounds[recvChunk])
+		if err != nil {
+			return nil, err
+		}
+		dst := acc[bounds[recvChunk]:bounds[recvChunk+1]]
+		for i, v := range vals {
+			dst[i] += v
+		}
+	}
+	// All-gather: circulate the reduced chunks. At gather step s rank r
+	// sends chunk (r+1-s) mod M (reduced) and receives chunk (r-s) mod M.
+	for s := 0; s < m-1; s++ {
+		step := uint16(m - 1 + s)
+		sendChunk := mod(p.rank+1-s, m)
+		recvChunk := mod(p.rank-s, m)
+		seg := acc[bounds[sendChunk]:bounds[sendChunk+1]]
+		if err := p.sendSegment(key, iter, step, uint16(sendChunk), encodeFloats(seg)); err != nil {
+			return nil, err
+		}
+		vals, err := p.recvSegment(key, iter, step, uint16(recvChunk), bounds[recvChunk+1]-bounds[recvChunk])
+		if err != nil {
+			return nil, err
+		}
+		copy(acc[bounds[recvChunk]:bounds[recvChunk+1]], vals)
+	}
+	return acc, nil
+}
+
+// Close shuts the peer down: the listener stops accepting, all
+// connections close, reader goroutines drain, and every collective blocked
+// in recvSegment fails with a "peer closed" error instead of hanging.
+// Close is idempotent.
+func (p *Peer) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.done)
+	if p.ln != nil {
+		p.ln.Close()
+	}
+	for conn := range p.conns {
+		conn.Close()
+	}
+	p.mu.Unlock()
+	p.sendMu.Lock()
+	if p.succ != nil {
+		p.succ.Close()
+	}
+	p.sendMu.Unlock()
+	p.wg.Wait()
+}

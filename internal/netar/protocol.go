@@ -1,0 +1,218 @@
+// Package netar is a real, wire-level segmented ring all-reduce over TCP
+// for the live scheduler: N peers arranged in a ring, each dialing its
+// successor and accepting from its predecessor, reducing fp32 tensor
+// partitions with the bandwidth-optimal reduce-scatter + all-gather
+// schedule — the same collective the simulator's internal/allreduce models
+// analytically, but over actual sockets.
+//
+// It exists so the library's live half (bytescheduler.Scheduler /
+// core.AsyncScheduler) has an all-reduce transport to drive end to end,
+// closing the gap the paper's generality claim rests on (§3, Table 1):
+// the scheduler is architecture-agnostic, but all-reduce pays a
+// per-operation synchronization cost — 2(M-1) sequential ring hops plus
+// launch overhead — so it wants much larger partitions than PS. With this
+// package that trade-off is measurable on a real transport (EXT-RING), not
+// just in simulation.
+//
+// One collective on M peers and n values proceeds in 2(M-1) steps. The
+// vector is cut into M near-equal chunks; during reduce-scatter step s,
+// peer r sends chunk (r-s) mod M to its successor and accumulates chunk
+// (r-s-1) mod M from its predecessor, so after M-1 steps peer r holds the
+// fully reduced chunk (r+1) mod M. All-gather then circulates the reduced
+// chunks the same way. Each peer moves 2(M-1)/M of the data — the
+// bandwidth-optimal schedule the simulator's cost model charges.
+//
+// Operations are keyed by (key, iteration): peers may issue any number of
+// collectives concurrently and in any local order, because ring segments
+// are dispatched to per-(key, iter, step) slots rather than assumed to
+// arrive in lockstep. Every inbound connection is drained by a dedicated
+// reader goroutine, so a step's send can never deadlock against the ring's
+// cyclic dependency: the predecessor's reader always consumes.
+//
+// The transport reuses the netps hardening patterns: per-frame write
+// deadlines, bounded dial retry with exponential backoff and deterministic
+// jitter, a step-receive timeout so a dead peer surfaces as an error
+// instead of a hang, duplicate-segment drops (the Seq-dedup analogue for a
+// persistent-connection transport), a bounded pending-slot table so a
+// misbehaving peer cannot balloon memory, and graceful Close that fails
+// blocked waiters. All knobs live in Config.
+package netar
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Op is the wire operation code.
+type Op uint8
+
+const (
+	// OpData carries one ring segment: the payload of (key, iter) at one
+	// schedule step, either a partial sum (reduce-scatter phase) or a fully
+	// reduced chunk (all-gather phase).
+	OpData Op = 1
+	// OpErr is a peer -> peer protocol-error notification; the payload is a
+	// UTF-8 message. It lets a peer report "your segment was rejected"
+	// before dropping a connection whose framing may be out of sync.
+	OpErr Op = 2
+)
+
+// maxMessage bounds a single framed message (payload plus header).
+const maxMessage = 512 << 20
+
+// maxPrealloc caps the up-front payload allocation while reading a frame:
+// a malicious length prefix can make the decoder *work* at most this hard
+// before the stream runs dry, never allocate the full advertised size.
+const maxPrealloc = 4 << 20
+
+// message is one framed ring segment.
+//
+//	op(1) iter(4) seq(8) step(2) chunk(2) keyLen(2) key payloadLen(4) payload
+type message struct {
+	Op   Op
+	Iter uint32
+	// Seq is a per-peer monotonic frame counter, for tracing and duplicate
+	// diagnostics (a persistent connection does not replay frames the way
+	// netps retries do, so Seq is observability, not correctness).
+	Seq uint64
+	// Step is the position in the 2(M-1)-step collective schedule.
+	Step uint16
+	// Chunk is the vector chunk index the payload covers; the receiver
+	// verifies it against the schedule, catching ring misconfiguration.
+	Chunk   uint16
+	Key     string
+	Payload []byte
+}
+
+// fixedHeader is the length of the constant-size header prefix.
+const fixedHeader = 1 + 4 + 8 + 2 + 2 + 2
+
+// writeMessage frames and writes one message.
+func writeMessage(w io.Writer, m message) error {
+	if len(m.Key) > 1<<16-1 {
+		return fmt.Errorf("netar: key too long (%d bytes)", len(m.Key))
+	}
+	if len(m.Payload) > maxMessage {
+		return fmt.Errorf("netar: payload too large (%d bytes)", len(m.Payload))
+	}
+	hdr := make([]byte, fixedHeader+len(m.Key)+4)
+	hdr[0] = byte(m.Op)
+	binary.BigEndian.PutUint32(hdr[1:5], m.Iter)
+	binary.BigEndian.PutUint64(hdr[5:13], m.Seq)
+	binary.BigEndian.PutUint16(hdr[13:15], m.Step)
+	binary.BigEndian.PutUint16(hdr[15:17], m.Chunk)
+	binary.BigEndian.PutUint16(hdr[17:19], uint16(len(m.Key)))
+	copy(hdr[fixedHeader:], m.Key)
+	binary.BigEndian.PutUint32(hdr[fixedHeader+len(m.Key):], uint32(len(m.Payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(m.Payload) > 0 {
+		if _, err := w.Write(m.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readPayload reads exactly n payload bytes with the up-front allocation
+// capped at maxPrealloc: small payloads get one exact allocation, large
+// ones grow with the bytes that actually arrive, so an adversarial length
+// prefix cannot force a giant allocation before the stream runs dry.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if n <= maxPrealloc {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	var b bytes.Buffer
+	b.Grow(maxPrealloc)
+	if _, err := io.CopyN(&b, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// readMessage reads one framed message. It returns an error — never
+// panics, never allocates beyond the bytes actually received — on
+// truncated or adversarial input (FuzzDecodeMessage enforces this).
+func readMessage(r io.Reader) (message, error) {
+	var fixed [fixedHeader]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return message{}, err
+	}
+	m := message{
+		Op:    Op(fixed[0]),
+		Iter:  binary.BigEndian.Uint32(fixed[1:5]),
+		Seq:   binary.BigEndian.Uint64(fixed[5:13]),
+		Step:  binary.BigEndian.Uint16(fixed[13:15]),
+		Chunk: binary.BigEndian.Uint16(fixed[15:17]),
+	}
+	keyLen := int(binary.BigEndian.Uint16(fixed[17:19]))
+	buf := make([]byte, keyLen+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return message{}, err
+	}
+	m.Key = string(buf[:keyLen])
+	payloadLen := binary.BigEndian.Uint32(buf[keyLen:])
+	if payloadLen > maxMessage {
+		return message{}, fmt.Errorf("netar: payload length %d exceeds limit", payloadLen)
+	}
+	payload, err := readPayload(r, int(payloadLen))
+	if err != nil {
+		return message{}, err
+	}
+	m.Payload = payload
+	return m, nil
+}
+
+// encodeFloats serializes a float32 vector big-endian.
+func encodeFloats(v []float32) []byte {
+	out := make([]byte, len(v)*4)
+	for i, f := range v {
+		binary.BigEndian.PutUint32(out[i*4:], math.Float32bits(f))
+	}
+	return out
+}
+
+// decodeFloats parses a big-endian float32 vector payload.
+func decodeFloats(payload []byte) ([]float32, error) {
+	if len(payload)%4 != 0 {
+		return nil, fmt.Errorf("netar: payload not a float32 vector (%d bytes)", len(payload))
+	}
+	out := make([]float32, len(payload)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.BigEndian.Uint32(payload[i*4:]))
+	}
+	return out, nil
+}
+
+// chunkBounds cuts a vector of n values into m near-equal chunks and
+// returns the m+1 boundary indices: chunk c covers [bounds[c], bounds[c+1]).
+// The first n%m chunks get one extra value, so sizes differ by at most one
+// and every peer computes identical boundaries independently.
+func chunkBounds(n, m int) []int {
+	bounds := make([]int, m+1)
+	q, rem := n/m, n%m
+	off := 0
+	for c := 0; c < m; c++ {
+		bounds[c] = off
+		off += q
+		if c < rem {
+			off++
+		}
+	}
+	bounds[m] = off
+	return bounds
+}

@@ -32,6 +32,7 @@
 package netps
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -64,6 +65,11 @@ const (
 
 // maxMessage bounds a single framed message (payload plus header).
 const maxMessage = 512 << 20
+
+// maxPrealloc caps the up-front payload allocation while reading a frame:
+// a malicious length prefix can make the decoder *work* at most this hard
+// before the stream runs dry, never allocate the full advertised size.
+const maxPrealloc = 4 << 20
 
 // header is the fixed-size request/response prefix.
 //
@@ -214,7 +220,35 @@ func writeMessage(w io.Writer, m message) error {
 	return nil
 }
 
-// readMessage reads one framed message.
+// readPayload reads exactly n payload bytes with the up-front allocation
+// capped at maxPrealloc: small payloads get one exact allocation, large
+// ones grow with the bytes that actually arrive, so an adversarial length
+// prefix cannot force a giant allocation before the stream runs dry.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if n <= maxPrealloc {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	var b bytes.Buffer
+	b.Grow(maxPrealloc)
+	if _, err := io.CopyN(&b, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// readMessage reads one framed message. It returns an error — never
+// panics, never allocates beyond the bytes actually received — on
+// truncated or adversarial input (FuzzDecodeMessage enforces this).
 func readMessage(r io.Reader) (message, error) {
 	var fixed [fixedHeader]byte
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
@@ -235,11 +269,10 @@ func readMessage(r io.Reader) (message, error) {
 	if payloadLen > maxMessage {
 		return message{}, fmt.Errorf("netps: payload length %d exceeds limit", payloadLen)
 	}
-	if payloadLen > 0 {
-		m.Payload = make([]byte, payloadLen)
-		if _, err := io.ReadFull(r, m.Payload); err != nil {
-			return message{}, err
-		}
+	payload, err := readPayload(r, int(payloadLen))
+	if err != nil {
+		return message{}, err
 	}
+	m.Payload = payload
 	return m, nil
 }

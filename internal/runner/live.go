@@ -1,0 +1,521 @@
+// Live training harness: the same iteration structure the simulator
+// models (backward pass emits gradients back-to-front, the next forward
+// pass consumes them front-to-back), but over real sockets — netps
+// parameter servers or the netar segmented ring — with a real
+// core.AsyncScheduler deciding transmission order. This is where the
+// paper's generality claim is measurable outside the simulator: one
+// scheduler, two architectures, wall-clock iteration times.
+
+package runner
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"bytescheduler/internal/core"
+	"bytescheduler/internal/metrics"
+	"bytescheduler/internal/netar"
+	"bytescheduler/internal/netps"
+	"bytescheduler/internal/tensor"
+	"bytescheduler/internal/trace"
+)
+
+// LiveBackend selects the live transport architecture.
+type LiveBackend int
+
+const (
+	// LiveBackendPS synchronizes gradients through a netps parameter
+	// server (push + aggregate + pull).
+	LiveBackendPS LiveBackend = iota
+	// LiveBackendRing synchronizes gradients with the netar segmented
+	// ring all-reduce.
+	LiveBackendRing
+)
+
+// String returns the backend's flag spelling.
+func (b LiveBackend) String() string {
+	switch b {
+	case LiveBackendPS:
+		return "ps"
+	case LiveBackendRing:
+		return "ring"
+	}
+	return fmt.Sprintf("LiveBackend(%d)", int(b))
+}
+
+// ParseLiveBackend parses the -backend flag value.
+func ParseLiveBackend(s string) (LiveBackend, error) {
+	switch s {
+	case "ps":
+		return LiveBackendPS, nil
+	case "ring":
+		return LiveBackendRing, nil
+	}
+	return 0, fmt.Errorf("runner: unknown live backend %q (want ps or ring)", s)
+}
+
+// LiveConfig describes one live training run: in-process workers over
+// loopback TCP, one scheduler per worker, real wall-clock timing.
+type LiveConfig struct {
+	// Backend selects the transport (PS or ring all-reduce).
+	Backend LiveBackend
+	// Workers is the number of training workers (ring peers, or PS
+	// clients against one aggregating server).
+	Workers int
+	// LayerBytes is each layer's gradient size in bytes, front (input
+	// layer, highest priority) to back. Every size must be a positive
+	// multiple of 4 (fp32).
+	LayerBytes []int64
+	// Policy is the communication scheduling policy. A serial FIFO
+	// baseline (LiveFIFO) transmits whole tensors one at a time in
+	// emission order — the vanilla framework's single comm queue.
+	// PartitionUnit, if set, must be a multiple of 4.
+	Policy core.Policy
+	// Iterations and Warmup control measurement; Iterations must exceed
+	// Warmup+1 so at least one steady-state period is measured.
+	Iterations, Warmup int
+	// ForwardCompute / BackwardCompute are the per-layer compute times
+	// (real sleeps). Forward layer l of iteration i+1 additionally blocks
+	// until layer l's gradient synchronization from iteration i finished —
+	// the dependency structure that makes front-layer priority pay.
+	ForwardCompute, BackwardCompute time.Duration
+	// Metrics, if non-nil, instruments worker 0's scheduler and every
+	// transport endpoint against the registry (core_*, netps_*/netar_*).
+	Metrics *metrics.Registry
+	// Trace, if non-nil, records wall-clock spans for every transport
+	// operation in the shared Chrome-trace schema.
+	Trace *trace.Wall
+	// Seed seeds transport jitter; runs are *not* bitwise deterministic —
+	// this is wall-clock measurement, not simulation.
+	Seed int64
+}
+
+// LiveFIFO is the unscheduled live baseline: whole tensors, transmitted
+// strictly one at a time in emission (back-to-front) order — a vanilla
+// framework's single communication queue. CreditBytes=1 serializes: the
+// scheduler admits a sub-task larger than the remaining credit only when
+// nothing is in flight.
+func LiveFIFO() core.Policy {
+	return core.Policy{Name: "fifo", CreditBytes: 1}
+}
+
+// Validate reports configuration errors.
+func (c LiveConfig) Validate() error {
+	switch c.Backend {
+	case LiveBackendPS, LiveBackendRing:
+	default:
+		return fmt.Errorf("runner: unknown live backend %d", int(c.Backend))
+	}
+	if c.Workers < 1 {
+		return fmt.Errorf("runner: live run needs >= 1 worker, got %d", c.Workers)
+	}
+	if len(c.LayerBytes) == 0 {
+		return fmt.Errorf("runner: live run needs at least one layer")
+	}
+	for l, b := range c.LayerBytes {
+		if b <= 0 || b%4 != 0 {
+			return fmt.Errorf("runner: layer %d size %d is not a positive multiple of 4", l, b)
+		}
+	}
+	if err := c.Policy.Validate(); err != nil {
+		return err
+	}
+	if c.Policy.PartitionUnit%4 != 0 {
+		return fmt.Errorf("runner: partition unit %d is not a multiple of 4", c.Policy.PartitionUnit)
+	}
+	if c.Iterations < c.Warmup+2 {
+		return fmt.Errorf("runner: iterations %d must exceed warmup %d by at least 2", c.Iterations, c.Warmup)
+	}
+	return nil
+}
+
+// coordinated reports whether the run must release each backward pass's
+// task set atomically in priority order (see liveWorker): ring collectives
+// block until *every* peer issues them, so priority scheduling under a
+// finite credit window is only deadlock-free when all peers admit
+// partitions in the same total order. Streaming per-layer release diverges
+// — peer A's backward is a sleep ahead, its freshly-emitted urgent layer
+// preempts its window while peer B still stop-and-waits on the tail A
+// moved past, and neither completes (real all-reduce stacks solve exactly
+// this with global readiness negotiation, e.g. Horovod's coordinator).
+// FIFO-style policies (no Priority) stream safely: arrival order is
+// emission order, identical on every peer.
+func (c LiveConfig) coordinated() bool {
+	return c.Backend == LiveBackendRing && c.Policy.Priority != nil && c.Policy.CreditBytes > 0
+}
+
+// LiveResult summarizes a live run.
+type LiveResult struct {
+	// IterTime is the mean post-warmup per-iteration wall-clock time in
+	// seconds, measured as differences between consecutive forward-pass
+	// start times on worker 0.
+	IterTime float64
+	// IterTimes are the individual post-warmup iteration periods.
+	IterTimes []float64
+	// Stats aggregates the scheduler counters across workers.
+	Stats core.Stats
+}
+
+// liveComm launches one partition's gradient synchronization: in holds the
+// local gradient values for the partition, out receives the cross-worker
+// sum.
+type liveComm func(layer int, iter uint32, sub tensor.Sub, in, out []float32) error
+
+// liveTransport is one worker's transport endpoint.
+type liveTransport struct {
+	comm   liveComm
+	attach func(s *core.AsyncScheduler) // optional (flush-hook coalescing)
+	close  func()
+}
+
+// RunLive executes the configured live training run and returns its
+// measured per-iteration time. Unlike Run, this is wall-clock measurement
+// over real sockets — results vary run to run and across machines.
+func RunLive(cfg LiveConfig) (LiveResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return LiveResult{}, err
+	}
+	transports, teardown, err := buildLiveTransports(cfg)
+	if err != nil {
+		return LiveResult{}, err
+	}
+	defer teardown()
+
+	starts := make([]time.Time, cfg.Iterations)
+	errs := make([]error, cfg.Workers)
+	stats := make([]core.Stats, cfg.Workers)
+	var wg sync.WaitGroup
+	for r := 0; r < cfg.Workers; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stats[r], errs[r] = liveWorker(cfg, r, transports[r], starts)
+		}()
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return LiveResult{}, fmt.Errorf("runner: live worker %d: %w", r, err)
+		}
+	}
+	res := LiveResult{}
+	for _, s := range stats {
+		res.Stats = addStats(res.Stats, s)
+	}
+	for i := cfg.Warmup; i+1 < cfg.Iterations; i++ {
+		res.IterTimes = append(res.IterTimes, starts[i+1].Sub(starts[i]).Seconds())
+	}
+	for _, d := range res.IterTimes {
+		res.IterTime += d
+	}
+	res.IterTime /= float64(len(res.IterTimes))
+	return res, nil
+}
+
+// buildLiveTransports wires one transport endpoint per worker plus a
+// teardown closing them all.
+func buildLiveTransports(cfg LiveConfig) ([]liveTransport, func(), error) {
+	switch cfg.Backend {
+	case LiveBackendRing:
+		return buildRingTransports(cfg)
+	case LiveBackendPS:
+		return buildPSTransports(cfg)
+	}
+	return nil, nil, fmt.Errorf("runner: unknown live backend %d", int(cfg.Backend))
+}
+
+func buildRingTransports(cfg LiveConfig) ([]liveTransport, func(), error) {
+	peers := make([]*netar.Peer, cfg.Workers)
+	teardown := func() {
+		for _, p := range peers {
+			if p != nil {
+				p.Close()
+			}
+		}
+	}
+	for r := 0; r < cfg.Workers; r++ {
+		opts := []netar.Option{netar.WithSeed(cfg.Seed + int64(r))}
+		if cfg.Metrics != nil {
+			opts = append(opts, netar.WithMetrics(cfg.Metrics))
+		}
+		if cfg.Trace != nil {
+			opts = append(opts, netar.WithTracer(cfg.Trace))
+		}
+		p, err := netar.NewPeer(r, cfg.Workers, opts...)
+		if err != nil {
+			teardown()
+			return nil, nil, err
+		}
+		if err := p.Listen("127.0.0.1:0"); err != nil {
+			teardown()
+			return nil, nil, err
+		}
+		peers[r] = p
+	}
+	for r := 0; r < cfg.Workers; r++ {
+		if err := peers[r].Dial(peers[(r+1)%cfg.Workers].Addr()); err != nil {
+			teardown()
+			return nil, nil, err
+		}
+	}
+	transports := make([]liveTransport, cfg.Workers)
+	for r := 0; r < cfg.Workers; r++ {
+		peer := peers[r]
+		transports[r] = liveTransport{
+			comm: func(layer int, iter uint32, sub tensor.Sub, in, out []float32) error {
+				key := fmt.Sprintf("L%02d[%d/%d]", layer, sub.Index, sub.Count)
+				sum, err := peer.AllReduce(key, iter, in)
+				if err != nil {
+					return err
+				}
+				copy(out, sum)
+				return nil
+			},
+		}
+	}
+	return transports, teardown, nil
+}
+
+func buildPSTransports(cfg LiveConfig) ([]liveTransport, func(), error) {
+	srv, err := netps.NewServer(cfg.Workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return nil, nil, err
+	}
+	clients := make([]*netps.Client, cfg.Workers)
+	batchers := make([]*netps.Batcher, cfg.Workers)
+	teardown := func() {
+		for _, b := range batchers {
+			if b != nil {
+				b.Close()
+			}
+		}
+		for _, c := range clients {
+			if c != nil {
+				c.Close()
+			}
+		}
+		srv.Close()
+	}
+	transports := make([]liveTransport, cfg.Workers)
+	for r := 0; r < cfg.Workers; r++ {
+		opts := []netps.Option{
+			netps.WithClientID(uint32(r + 1)),
+			netps.WithSeed(cfg.Seed + int64(r)),
+		}
+		if cfg.Metrics != nil {
+			opts = append(opts, netps.WithMetrics(cfg.Metrics))
+		}
+		if cfg.Trace != nil {
+			opts = append(opts, netps.WithTracer(cfg.Trace))
+		}
+		client := netps.NewClient(addr, opts...)
+		clients[r] = client
+		batcher := netps.NewBatcher(client)
+		batchers[r] = batcher
+		transports[r] = liveTransport{
+			comm: func(layer int, iter uint32, sub tensor.Sub, in, out []float32) error {
+				key := fmt.Sprintf("L%02d[%d/%d]", layer, sub.Index, sub.Count)
+				pushed := make(chan error, 1)
+				batcher.Push(key, iter, in, func(err error) { pushed <- err })
+				if err := <-pushed; err != nil {
+					return err
+				}
+				sum, err := client.Pull(key, iter)
+				if err != nil {
+					return err
+				}
+				copy(out, sum)
+				return nil
+			},
+			// The scheduler's flush hook is the Batcher's coalescing
+			// point: one wire frame per releasing pass (§2.2's θ
+			// amortization), without adding latency beyond the pass.
+			attach: func(s *core.AsyncScheduler) { s.SetFlushHook(batcher.FlushAsync) },
+		}
+	}
+	return transports, teardown, nil
+}
+
+// liveWorker runs one worker's training loop: forward gated on the
+// previous iteration's per-layer synchronization, backward emitting
+// gradient CommTasks back-to-front into the worker's scheduler.
+func liveWorker(cfg LiveConfig, rank int, tr liveTransport, starts []time.Time) (core.Stats, error) {
+	layers := len(cfg.LayerBytes)
+	sched := core.NewAsync(cfg.Policy)
+	defer sched.Shutdown()
+	if cfg.Metrics != nil && rank == 0 {
+		sched.Instrument(cfg.Metrics)
+	}
+	if tr.attach != nil {
+		tr.attach(sched)
+	}
+
+	grads := make([][]float32, layers)
+	outs := make([][]float32, layers)
+	done := make([]chan error, layers)
+	for l, b := range cfg.LayerBytes {
+		n := int(b / 4)
+		grads[l] = make([]float32, n)
+		for i := range grads[l] {
+			grads[l][i] = float32(rank + 1)
+		}
+		outs[l] = make([]float32, n)
+		done[l] = make(chan error, 1)
+	}
+
+	for it := 0; it < cfg.Iterations; it++ {
+		if rank == 0 {
+			starts[it] = time.Now()
+		}
+		// Forward: layer l needs layer l's synchronized gradient from the
+		// previous iteration before it can compute.
+		for l := 0; l < layers; l++ {
+			if it > 0 {
+				if err := <-done[l]; err != nil {
+					return sched.Stats(), fmt.Errorf("iteration %d layer %d: %w", it-1, l, err)
+				}
+			}
+			if cfg.ForwardCompute > 0 {
+				time.Sleep(cfg.ForwardCompute)
+			}
+		}
+		// Backward: gradients become ready back-to-front. Coordinated runs
+		// (see LiveConfig.coordinated) hold the ready notifications until
+		// the pass completes, then release the whole set front-to-back:
+		// every peer then admits partitions in the identical total order
+		// — (iteration, layer) lexicographic, via the iteration-offset
+		// priority below — which is what makes credit-gated priority
+		// scheduling deadlock-free over blocking collectives.
+		coordinated := cfg.coordinated()
+		batch := make([]*core.Task, layers)
+		for l := layers - 1; l >= 0; l-- {
+			if cfg.BackwardCompute > 0 {
+				time.Sleep(cfg.BackwardCompute)
+			}
+			l := l
+			iter := uint32(it)
+			grad, out := grads[l], outs[l]
+			prio := l
+			if coordinated {
+				// Monotone across iterations so a new pass's front layer
+				// never preempts the previous pass's unfinished tail —
+				// peers must agree on the total order, and the previous
+				// tail is exactly where a lagging peer still is.
+				prio = it*layers + l
+			}
+			t := &core.Task{
+				Tensor: tensor.Tensor{Layer: prio, Name: "g", Bytes: cfg.LayerBytes[l]},
+				StartErr: func(sub tensor.Sub, doneFn func(error)) {
+					lo := sub.Offset / 4
+					hi := lo + sub.Bytes/4
+					doneFn(tr.comm(l, iter, sub, grad[lo:hi], out[lo:hi]))
+				},
+			}
+			t.OnFinished = func() { done[l] <- t.Err() }
+			if err := sched.Enqueue(t); err != nil {
+				return sched.Stats(), err
+			}
+			batch[l] = t
+			if !coordinated {
+				if err := sched.NotifyReady(t); err != nil {
+					return sched.Stats(), err
+				}
+			}
+		}
+		if coordinated {
+			for l := 0; l < layers; l++ {
+				if err := sched.NotifyReady(batch[l]); err != nil {
+					return sched.Stats(), err
+				}
+			}
+		}
+	}
+	// Drain the final iteration's synchronization.
+	for l := 0; l < layers; l++ {
+		if err := <-done[l]; err != nil {
+			return sched.Stats(), fmt.Errorf("final iteration layer %d: %w", l, err)
+		}
+	}
+	// Verify the last iteration's sums: every element must be the
+	// cross-worker total of the constant per-rank gradients.
+	want := float32(cfg.Workers * (cfg.Workers + 1) / 2)
+	for l := range outs {
+		for i, v := range outs[l] {
+			if v != want {
+				return sched.Stats(), fmt.Errorf("layer %d[%d] = %v, want %v (aggregation corrupted)", l, i, v, want)
+			}
+		}
+	}
+	return sched.Stats(), nil
+}
+
+// MeasureRingCollective times live ring collectives of n float32 values
+// across the given number of loopback peers and returns the mean seconds
+// per collective (after two warmup ops). EXT-RING uses two sizes of this
+// microbenchmark to calibrate the simulator's analytic ring model — launch
+// overhead from a tiny op, effective bandwidth from a large one — and then
+// checks the calibrated model's predictions against live measurements.
+func MeasureRingCollective(workers, floats, reps int) (float64, error) {
+	if workers < 2 || reps < 1 {
+		return 0, fmt.Errorf("runner: need >= 2 workers and >= 1 rep")
+	}
+	peers := make([]*netar.Peer, workers)
+	defer func() {
+		for _, p := range peers {
+			if p != nil {
+				p.Close()
+			}
+		}
+	}()
+	for r := 0; r < workers; r++ {
+		p, err := netar.NewPeer(r, workers, netar.WithSeed(int64(r+1)))
+		if err != nil {
+			return 0, err
+		}
+		if err := p.Listen("127.0.0.1:0"); err != nil {
+			return 0, err
+		}
+		peers[r] = p
+	}
+	for r := 0; r < workers; r++ {
+		if err := peers[r].Dial(peers[(r+1)%workers].Addr()); err != nil {
+			return 0, err
+		}
+	}
+	const warmup = 2
+	data := make([][]float32, workers)
+	for r := range data {
+		data[r] = make([]float32, floats)
+	}
+	var elapsed time.Duration
+	for op := 0; op < warmup+reps; op++ {
+		begin := time.Now()
+		errs := make([]error, workers)
+		var wg sync.WaitGroup
+		for r := 0; r < workers; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				_, errs[r] = peers[r].AllReduce("bench", uint32(op), data[r])
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return 0, err
+			}
+		}
+		if op >= warmup {
+			elapsed += time.Since(begin)
+		}
+	}
+	return elapsed.Seconds() / float64(reps), nil
+}

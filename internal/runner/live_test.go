@@ -1,0 +1,146 @@
+package runner
+
+import (
+	"testing"
+	"time"
+
+	"bytescheduler/internal/core"
+	"bytescheduler/internal/metrics"
+)
+
+func liveBase(backend LiveBackend) LiveConfig {
+	return LiveConfig{
+		Backend:         backend,
+		Workers:         3,
+		LayerBytes:      []int64{16 << 10, 32 << 10, 8 << 10, 24 << 10},
+		Policy:          core.ByteScheduler(8<<10, 48<<10),
+		Iterations:      5,
+		Warmup:          1,
+		ForwardCompute:  200 * time.Microsecond,
+		BackwardCompute: 200 * time.Microsecond,
+		Seed:            7,
+	}
+}
+
+func TestRunLiveRing(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := liveBase(LiveBackendRing)
+	cfg.Metrics = reg
+	res, err := RunLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IterTime <= 0 {
+		t.Fatalf("IterTime = %v, want > 0", res.IterTime)
+	}
+	if want := cfg.Iterations - cfg.Warmup - 1; len(res.IterTimes) != want {
+		t.Fatalf("len(IterTimes) = %d, want %d", len(res.IterTimes), want)
+	}
+	if res.Stats.SubsFinished == 0 {
+		t.Fatal("no sub-tasks finished")
+	}
+	if got := reg.Counter("netar_ops_total").Value(); got == 0 {
+		t.Fatal("netar_ops_total = 0: ring transport not exercised")
+	}
+}
+
+func TestRunLivePS(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := liveBase(LiveBackendPS)
+	cfg.Workers = 2
+	cfg.Metrics = reg
+	res, err := RunLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IterTime <= 0 {
+		t.Fatalf("IterTime = %v, want > 0", res.IterTime)
+	}
+	if got := reg.Counter("netps_requests_total").Value(); got == 0 {
+		t.Fatal("netps_requests_total = 0: PS transport not exercised")
+	}
+}
+
+// TestRunLiveRingTightCredit pins the coordinated-release fix: priority
+// scheduling on the ring with a credit window equal to a single partition
+// (P3-style stop-and-wait) used to cross-peer deadlock when peers' admission
+// orders diverged. Coordinated release makes every peer admit partitions in
+// the same total order, so even the tightest window must complete.
+func TestRunLiveRingTightCredit(t *testing.T) {
+	cfg := liveBase(LiveBackendRing)
+	cfg.Policy = core.ByteScheduler(8<<10, 8<<10)
+	if !cfg.coordinated() {
+		t.Fatal("config should select coordinated release")
+	}
+	res, err := RunLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SubsFinished == 0 {
+		t.Fatal("no sub-tasks finished")
+	}
+}
+
+func TestRunLiveRingFIFO(t *testing.T) {
+	cfg := liveBase(LiveBackendRing)
+	cfg.Policy = LiveFIFO()
+	res, err := RunLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FIFO does not partition: one sub per layer per iteration.
+	want := uint64(cfg.Workers * len(cfg.LayerBytes) * cfg.Iterations)
+	if res.Stats.SubsFinished != want {
+		t.Fatalf("SubsFinished = %d, want %d", res.Stats.SubsFinished, want)
+	}
+}
+
+func TestRunLiveValidation(t *testing.T) {
+	good := liveBase(LiveBackendRing)
+	for _, tc := range []struct {
+		name string
+		mut  func(*LiveConfig)
+	}{
+		{"no workers", func(c *LiveConfig) { c.Workers = 0 }},
+		{"no layers", func(c *LiveConfig) { c.LayerBytes = nil }},
+		{"ragged layer", func(c *LiveConfig) { c.LayerBytes = []int64{10} }},
+		{"negative layer", func(c *LiveConfig) { c.LayerBytes = []int64{-4} }},
+		{"ragged partition", func(c *LiveConfig) { c.Policy.PartitionUnit = 6 }},
+		{"too few iterations", func(c *LiveConfig) { c.Iterations = c.Warmup + 1 }},
+		{"bad backend", func(c *LiveConfig) { c.Backend = LiveBackend(99) }},
+	} {
+		cfg := good
+		tc.mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: validation passed", tc.name)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+}
+
+func TestParseLiveBackend(t *testing.T) {
+	if b, err := ParseLiveBackend("ps"); err != nil || b != LiveBackendPS {
+		t.Fatalf("ps -> %v, %v", b, err)
+	}
+	if b, err := ParseLiveBackend("ring"); err != nil || b != LiveBackendRing {
+		t.Fatalf("ring -> %v, %v", b, err)
+	}
+	if _, err := ParseLiveBackend("mesh"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestMeasureRingCollective(t *testing.T) {
+	sec, err := MeasureRingCollective(2, 1024, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sec <= 0 {
+		t.Fatalf("measured %v sec/op, want > 0", sec)
+	}
+	if _, err := MeasureRingCollective(1, 1024, 3); err == nil {
+		t.Fatal("1-worker microbenchmark accepted")
+	}
+}

@@ -1,0 +1,164 @@
+// Round-trip and golden tests for the Chrome-trace schema. The schema is
+// the contract between the simulator's virtual-clock recordings and the
+// live path's wall-clock recordings (Wall): both must survive
+// WriteChromeTrace -> ReadChromeTrace with spans, lanes and timings
+// intact, and the emitted JSON must be a fixed point — re-reading and
+// re-writing reproduces the bytes exactly — so traces archived by one
+// version keep loading in the next. A committed golden file pins the wire
+// schema itself.
+package trace
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// simRecorder builds a deterministic virtual-clock recording like the
+// simulator's: multiple lanes, out-of-order insertion, sub-microsecond
+// durations, and a zero-length span.
+func simRecorder() *Recorder {
+	rec := New()
+	rec.Add("w0/gpu", "fp0", 0, 0.0015)
+	rec.Add("w0/net", "push L01[2/5]", 0.0015, 0.004)
+	rec.Add("w1/gpu", "bp3", 0.002, 0.0020000005) // sub-microsecond
+	rec.Add("w0/gpu", "fp1", 0.0015, 0.003)
+	rec.Add("w1/net", "allreduce L00[0/2]#4", 0.004, 0.0093)
+	rec.Add("server", "flush", 0.005, 0.005) // zero duration
+	return rec
+}
+
+// wallRecorder builds a live-style recording through Wall with synthetic
+// absolute times, exercising the same adapter the live path uses.
+func wallRecorder() *Recorder {
+	rec := New()
+	w := NewWall(rec)
+	base := time.Now()
+	w.Add("worker0", "iter0", base, base.Add(13*time.Millisecond))
+	w.Add("worker0/comm", "netar/r0 L02[1/2]", base.Add(2*time.Millisecond), base.Add(9*time.Millisecond))
+	w.Add("worker1/comm", "push", base.Add(3*time.Millisecond), base.Add(4*time.Millisecond))
+	return rec
+}
+
+// roundTrip writes rec to JSON and reads it back.
+func roundTrip(t *testing.T, rec *Recorder) (*Recorder, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, buf.Bytes()
+}
+
+// sameSpans compares two span sets within eps seconds. The Chrome schema
+// stores microseconds as float64, so timings survive with sub-nanosecond
+// error but not necessarily bit-for-bit.
+func sameSpans(t *testing.T, want, got *Recorder, eps float64) {
+	t.Helper()
+	ws, gs := want.Spans(), got.Spans()
+	if len(ws) != len(gs) {
+		t.Fatalf("span count diverged: %d vs %d", len(ws), len(gs))
+	}
+	for i := range ws {
+		w, g := ws[i], gs[i]
+		if w.Lane != g.Lane || w.Name != g.Name {
+			t.Fatalf("span %d identity diverged: %+v vs %+v", i, w, g)
+		}
+		if math.Abs(w.Start-g.Start) > eps || math.Abs(w.End-g.End) > eps {
+			t.Fatalf("span %d timing diverged beyond %.0e s: %+v vs %+v", i, eps, w, g)
+		}
+	}
+	wl, gl := want.Lanes(), got.Lanes()
+	if len(wl) != len(gl) {
+		t.Fatalf("lane count diverged: %d vs %d", len(wl), len(gl))
+	}
+	for i := range wl {
+		if wl[i] != gl[i] {
+			t.Fatalf("lane %d diverged: %q vs %q", i, wl[i], gl[i])
+		}
+	}
+}
+
+func TestChromeTraceRoundTripFixedPoint(t *testing.T) {
+	const eps = 1e-9
+	for _, tc := range []struct {
+		name string
+		rec  *Recorder
+	}{
+		{"sim", simRecorder()},
+		{"wall", wallRecorder()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			got, emit1 := roundTrip(t, tc.rec)
+			sameSpans(t, tc.rec, got, eps)
+
+			// Fixed point: once through the schema, further round trips
+			// must reproduce the bytes exactly — no drift, ever.
+			got2, emit2 := roundTrip(t, got)
+			if !bytes.Equal(emit1, emit2) {
+				t.Fatalf("re-emit diverged from first emit:\n%s\nvs\n%s", emit1, emit2)
+			}
+			_, emit3 := roundTrip(t, got2)
+			if !bytes.Equal(emit2, emit3) {
+				t.Fatalf("third emit diverged:\n%s\nvs\n%s", emit2, emit3)
+			}
+		})
+	}
+}
+
+// TestChromeTraceGolden pins the wire schema against a committed file:
+// the deterministic sim recording must serialize to exactly the golden
+// bytes, and the golden bytes must parse back to the same spans. Run with
+// TRACE_GOLDEN_UPDATE=1 to regenerate after an intentional schema change.
+func TestChromeTraceGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "chrome_trace_golden.json")
+	var buf bytes.Buffer
+	if err := simRecorder().WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv("TRACE_GOLDEN_UPDATE") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with TRACE_GOLDEN_UPDATE=1 go test ./internal/trace/)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("emitted trace diverged from golden schema:\n got %s\nwant %s", buf.Bytes(), want)
+	}
+	rec, err := ReadChromeTrace(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameSpans(t, simRecorder(), rec, 1e-9)
+}
+
+// TestReadChromeTraceForeign accepts ph=X events without thread_name
+// metadata (traces from other tools) and synthesizes lane names rather
+// than failing.
+func TestReadChromeTraceForeign(t *testing.T) {
+	in := `[{"name":"op","ph":"X","ts":1000,"dur":500,"pid":1,"tid":7}]`
+	rec, err := ReadChromeTrace(bytes.NewReader([]byte(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans := rec.Spans()
+	if len(spans) != 1 || spans[0].Lane != "tid7" || spans[0].Name != "op" {
+		t.Fatalf("foreign trace parsed as %+v", spans)
+	}
+	if d := spans[0].Duration(); math.Abs(d-0.0005) > 1e-12 {
+		t.Fatalf("duration %v, want 0.5ms", d)
+	}
+}
