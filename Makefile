@@ -2,7 +2,7 @@ GO ?= go
 STATICCHECK ?= staticcheck
 FUZZTIME ?= 20s
 
-.PHONY: build vet staticcheck test race fuzz docs verify bench bench-json
+.PHONY: build vet staticcheck test race fuzz docs verify bench bench-json bench-ps
 
 build:
 	$(GO) build ./...
@@ -59,3 +59,13 @@ bench:
 # from different machines stay interpretable.
 bench-json:
 	$(GO) run ./cmd/benchsuite -run all -measure-serial -json BENCH_PR4.json
+
+# bench-ps regenerates the committed netps server macro-benchmark
+# (BENCH_PR6.json): one complete push+pull cycle per op at 64/256/1k
+# simulated clients, sharded vs. the single-lock seed shape (one lock
+# domain plus the per-push dedup-table rescan), plus one real-TCP tier
+# through the connection multiplexer + handler pool that records the
+# server goroutine count — the evidence that 1k clients cost ~pool-size
+# goroutines.
+bench-ps:
+	$(GO) run ./cmd/benchsuite -ps-bench -json BENCH_PR6.json

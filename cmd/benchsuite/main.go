@@ -120,6 +120,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if runPSBench(*jsonPath) {
+		return
+	}
+
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-14s %s\n", e.ID, e.Desc)

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"bytescheduler/internal/netps"
+)
+
+// PS-server macro-benchmark mode (-ps-bench): measures the live netps
+// server's throughput and latency under many concurrent clients, sharded
+// vs. the single-lock seed shape, and writes the BENCH_PR6.json evidence.
+var (
+	psBench = flag.Bool("ps-bench", false,
+		"run the netps server macro-benchmark instead of the experiment suite")
+	psClients = flag.String("ps-clients", "64,256,1024",
+		"comma-separated client-count tiers for -ps-bench")
+	psDuration = flag.Duration("ps-duration", 2*time.Second,
+		"per-tier measurement duration for -ps-bench")
+	psShards = flag.Int("ps-shards", 0,
+		"server shard count for -ps-bench (0 = netps default)")
+	psPool = flag.Int("ps-pool", 0,
+		"server handler-pool size for -ps-bench (0 = netps default)")
+	psPayload = flag.Int("ps-payload", 64,
+		"push payload float32 count for -ps-bench")
+	psTCPClients = flag.Int("ps-tcp-clients", 0,
+		"also run one real-TCP tier with this many clients (0 = largest in -ps-clients)")
+)
+
+// psSnapshot is the -ps-bench JSON evidence: per-tier sharded and
+// single-lock results plus the headline ratio at the largest tier.
+type psSnapshot struct {
+	GeneratedAt string             `json:"generated_at"`
+	GoVersion   string             `json:"go_version"`
+	Cores       int                `json:"cores"`
+	Tiers       []psTier           `json:"tiers"`
+	TCP         *netps.LoadResult  `json:"tcp,omitempty"`
+	Summary     map[string]float64 `json:"summary"`
+}
+
+type psTier struct {
+	Clients    int              `json:"clients"`
+	Sharded    netps.LoadResult `json:"sharded"`
+	SingleLock netps.LoadResult `json:"single_lock"`
+	SpeedupX   float64          `json:"speedup_x"`
+}
+
+// runPSBench executes the -ps-bench mode and reports whether it handled
+// the invocation (main returns immediately when it did).
+func runPSBench(jsonPath string) bool {
+	if !*psBench {
+		return false
+	}
+	tiers, err := parseTiers(*psClients)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	snap := psSnapshot{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		Cores:       runtime.NumCPU(),
+		Summary:     map[string]float64{},
+	}
+	largest := 0
+	for _, clients := range tiers {
+		if clients > largest {
+			largest = clients
+		}
+		tier := psTier{Clients: clients}
+		for _, baseline := range []bool{false, true} {
+			res, err := netps.RunLoad(netps.LoadOptions{
+				Clients:            clients,
+				Duration:           *psDuration,
+				PayloadFloats:      *psPayload,
+				Shards:             *psShards,
+				Pool:               *psPool,
+				SingleLockBaseline: baseline,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchsuite:", err)
+				os.Exit(1)
+			}
+			if baseline {
+				tier.SingleLock = res
+			} else {
+				tier.Sharded = res
+			}
+			fmt.Printf("ps-bench %-12s clients=%-5d shards=%-3d ops/s=%-10.0f p50=%.0fµs p99=%.0fµs\n",
+				res.Mode, res.Clients, res.Shards, res.OpsPerSec, res.P50Micros, res.P99Micros)
+		}
+		if tier.SingleLock.OpsPerSec > 0 {
+			tier.SpeedupX = tier.Sharded.OpsPerSec / tier.SingleLock.OpsPerSec
+		}
+		snap.Tiers = append(snap.Tiers, tier)
+		snap.Summary[fmt.Sprintf("sharded_vs_single_lock_%d", clients)] = tier.SpeedupX
+	}
+	// One real-TCP tier through the multiplexer + handler pool, for the
+	// connection-economy evidence (server goroutines vs. client count).
+	tcpClients := *psTCPClients
+	if tcpClients <= 0 {
+		tcpClients = largest
+	}
+	if tcpClients > 0 {
+		res, err := netps.RunLoad(netps.LoadOptions{
+			Clients:       tcpClients,
+			Duration:      *psDuration,
+			PayloadFloats: *psPayload,
+			Shards:        *psShards,
+			Pool:          *psPool,
+			TCP:           true,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+		snap.TCP = &res
+		snap.Summary["tcp_server_goroutines"] = float64(res.ServerGoros)
+		snap.Summary["tcp_clients"] = float64(res.Clients)
+		fmt.Printf("ps-bench %-12s clients=%-5d shards=%-3d ops/s=%-10.0f p99=%.0fµs server-goroutines=%d\n",
+			res.Mode, res.Clients, res.Shards, res.OpsPerSec, res.P99Micros, res.ServerGoros)
+	}
+	if jsonPath != "" {
+		buf, err := json.MarshalIndent(snap, "", "  ")
+		if err == nil {
+			err = os.WriteFile(jsonPath, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("ps-bench: snapshot written to %s\n", jsonPath)
+	}
+	return true
+}
+
+func parseTiers(spec string) ([]int, error) {
+	var tiers []int
+	for _, f := range strings.Split(spec, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -ps-clients tier %q", f)
+		}
+		tiers = append(tiers, n)
+	}
+	if len(tiers) == 0 {
+		return nil, fmt.Errorf("-ps-clients is empty")
+	}
+	return tiers, nil
+}

@@ -69,6 +69,9 @@ type options struct {
 	LiveLayers string
 	// LiveCompute is the per-layer compute sleep for each pass.
 	LiveCompute time.Duration
+	// PSShards / PSPool tune the live PS server: lock-domain count and
+	// handler-pool size (0 keeps the netps defaults).
+	PSShards, PSPool int
 	// serveStarted, when non-nil, is invoked with the bound address instead
 	// of blocking in http.Serve — a hook for tests.
 	serveStarted func(addr string)
@@ -103,6 +106,10 @@ func main() {
 		"live per-layer gradient KB, front to back (with -backend)")
 	flag.DurationVar(&o.LiveCompute, "live-compute", 500*time.Microsecond,
 		"live per-layer compute sleep per pass (with -backend)")
+	flag.IntVar(&o.PSShards, "ps-shards", 0,
+		"live PS server lock-domain count (with -backend ps; 0 = netps default, 1 = single lock)")
+	flag.IntVar(&o.PSPool, "ps-pool", 0,
+		"live PS server handler-pool size (with -backend ps; 0 = netps default)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bytesched:", err)
@@ -326,6 +333,8 @@ func runLive(o options) error {
 		ForwardCompute:  o.LiveCompute,
 		BackwardCompute: o.LiveCompute,
 		Seed:            o.Seed,
+		PSShards:        o.PSShards,
+		PSPool:          o.PSPool,
 	}
 	var rec *trace.Recorder
 	if o.ChromeOut != "" {

@@ -39,10 +39,15 @@ func setMax(g *atomic.Int64, v int64) {
 // Snapshot returns a consistent-enough copy: each field is read atomically,
 // so no torn values are possible even while the scheduler runs.
 func (c *statsCell) Snapshot() Stats {
+	// Load finished before started. Both only grow and finished <= started
+	// holds at every instant, so a started value read *after* the finished
+	// read can only be >= it; the opposite order let a partition start and
+	// finish between the two loads and surface finished > started.
+	finished := c.subsFinished.Load()
 	return Stats{
 		TasksEnqueued:    c.tasksEnqueued.Load(),
 		SubsStarted:      c.subsStarted.Load(),
-		SubsFinished:     c.subsFinished.Load(),
+		SubsFinished:     finished,
 		Preemptions:      c.preemptions.Load(),
 		MaxQueueLen:      int(c.maxQueueLen.Load()),
 		MaxInflightBytes: c.maxInflightBytes.Load(),

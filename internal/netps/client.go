@@ -242,12 +242,23 @@ func (c *Client) isClosed() bool {
 
 // backoff sleeps the exponential, jittered delay for the given attempt.
 func (c *Client) backoff(attempt int) {
-	d := c.backoffBase << uint(attempt)
-	if c.backoffMax > 0 && (d > c.backoffMax || d <= 0) {
+	// Clamp the shift before it can overflow int64: past attempt 62 the
+	// doubling has long exceeded any sane cap anyway. Overflow must clamp
+	// even with no max configured — a wrapped-negative delay used to hit
+	// the d <= 0 fast path below and turn the retry loop into a hot spin.
+	shift := uint(attempt)
+	if shift > 62 {
+		shift = 62
+	}
+	d := c.backoffBase << shift
+	overflowed := d <= 0 || d>>shift != c.backoffBase
+	if c.backoffMax > 0 && (d > c.backoffMax || overflowed) {
 		d = c.backoffMax
+	} else if overflowed {
+		d = c.backoffBase // uncapped client: hold at least the base delay
 	}
 	if d <= 0 {
-		return
+		return // backoffBase itself is zero: backoff disabled
 	}
 	c.mu.Lock()
 	jitter := c.rng.Jitter(c.jitterFrac)
@@ -265,6 +276,11 @@ func (c *Client) exchange(conn net.Conn, req message) (message, error) {
 		conn.Close()
 		return message{}, err
 	}
+	// Count wire frames where they actually hit the wire: retries and
+	// stale-conn redials each write another frame, so counting per logical
+	// request (as roundTrip once did) undercounted and skewed msgs/bytes
+	// ratios.
+	c.inst.msgs.Inc()
 	// Pulls (and batches containing one) wait for cross-worker aggregation
 	// and may legitimately block far longer than a push acknowledgement.
 	readTimeout := c.timeout
@@ -323,7 +339,6 @@ func opName(op Op) string {
 func (c *Client) roundTrip(req message) (message, error) {
 	req.Seq = c.nextSeq()
 	c.inst.requests.Inc()
-	c.inst.msgs.Inc() // one wire frame per logical request, batched or not
 	c.inst.inflight.Inc()
 	start := time.Now()
 	resp, err := c.attempt(req)

@@ -43,6 +43,24 @@ type Config struct {
 	// dedup table tracks; least-recently-active windows are evicted whole.
 	// Default DefaultDedupClients.
 	DedupClients int
+	// Shards is the number of independent lock domains the server's entry
+	// space and dedup tables are partitioned across. Default DefaultShards;
+	// 1 reproduces the old single-mutex server.
+	Shards int
+	// PoolSize is the server's handler-pool size: how many goroutines
+	// serve all multiplexed connections together. Default DefaultPoolSize.
+	PoolSize int
+	// CompletedBytes is the server's completed-aggregate log payload
+	// budget: recently reclaimed aggregates retained to re-answer retried
+	// pulls whose response was lost. Default DefaultCompletedBytes.
+	CompletedBytes int
+	// ServerReadTimeout bounds how long a pool worker may block reading
+	// the rest of a frame the multiplexer reported readable. Default
+	// DefaultServerReadTimeout.
+	ServerReadTimeout time.Duration
+	// ServerWriteTimeout bounds each server response write. Default
+	// DefaultServerWriteTimeout.
+	ServerWriteTimeout time.Duration
 	// BatchBytes is the Batcher's flush threshold: queued sub-message
 	// payload bytes beyond which the pending batch is written immediately.
 	// Default DefaultBatchBytes.
@@ -68,6 +86,12 @@ func DefaultConfig() Config {
 		DedupClients:  DefaultDedupClients,
 		BatchBytes:    DefaultBatchBytes,
 		BatchDelay:    DefaultBatchDelay,
+
+		Shards:             DefaultShards,
+		PoolSize:           DefaultPoolSize,
+		CompletedBytes:     DefaultCompletedBytes,
+		ServerReadTimeout:  DefaultServerReadTimeout,
+		ServerWriteTimeout: DefaultServerWriteTimeout,
 	}
 }
 
@@ -106,7 +130,8 @@ func WithConfig(cfg Config) Option {
 }
 
 // WithServerConfig applies the server-side fields of cfg (DedupCap,
-// DedupClients); zero-valued fields keep their defaults.
+// DedupClients, Shards, PoolSize, CompletedBytes, Server*Timeout);
+// zero-valued fields keep their defaults.
 func WithServerConfig(cfg Config) ServerOption {
 	return func(s *Server) {
 		if cfg.DedupCap > 0 {
@@ -114,6 +139,21 @@ func WithServerConfig(cfg Config) ServerOption {
 		}
 		if cfg.DedupClients > 0 {
 			s.dedupClients = cfg.DedupClients
+		}
+		if cfg.Shards > 0 {
+			s.shardCount = cfg.Shards
+		}
+		if cfg.PoolSize > 0 {
+			s.poolSize = cfg.PoolSize
+		}
+		if cfg.CompletedBytes > 0 {
+			s.completedBytes = cfg.CompletedBytes
+		}
+		if cfg.ServerReadTimeout > 0 {
+			s.readTimeout = cfg.ServerReadTimeout
+		}
+		if cfg.ServerWriteTimeout > 0 {
+			s.writeTimeout = cfg.ServerWriteTimeout
 		}
 	}
 }

@@ -15,7 +15,9 @@ import (
 func TestDedupWindowBounded(t *testing.T) {
 	const cap = 16
 	reg := metrics.NewRegistry()
-	srv, err := NewServer(1, WithDedupCap(cap), WithServerMetrics(reg))
+	// One shard: the dedup cap and eviction counts below assume all keys
+	// share one window table, as in the pre-shard server.
+	srv, err := NewServer(1, WithDedupCap(cap), WithShards(1), WithServerMetrics(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +53,9 @@ func TestDedupWindowBounded(t *testing.T) {
 // identities than the server tracks; the LRU client eviction must bound
 // the table even when no single window fills.
 func TestDedupClientWindowsBounded(t *testing.T) {
-	srv, err := NewServer(1, WithDedupCap(4))
+	// One shard, so DefaultDedupClients bounds one table rather than one
+	// table per shard.
+	srv, err := NewServer(1, WithDedupCap(4), WithShards(1))
 	if err != nil {
 		t.Fatal(err)
 	}

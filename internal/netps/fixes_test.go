@@ -1,0 +1,373 @@
+package netps
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"bytescheduler/internal/metrics"
+)
+
+// --- Reclaimed-entry pull replay (the retried-pull-forever-hang fix) ---
+
+// TestReclaimedPullReplayedFromCompletedLog reclaims an aggregate (served
+// to every worker), then retries the pull as a client whose response was
+// lost on the wire would. Pre-fix, preparePull recreated an empty entry
+// and handed back a wait channel that no push would ever fulfill; the
+// completed log must re-answer with the original payload instead.
+func TestReclaimedPullReplayedFromCompletedLog(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv, err := NewServer(1, WithServerMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := message{Op: OpPush, Key: "w", Iter: 1, Seq: uint64(1)<<32 | 1, Payload: Encode([]float32{3, 4})}
+	if resp, _, _ := srv.processPush(push); resp.Op != OpPush {
+		t.Fatalf("push response: %+v", resp)
+	}
+	pull := message{Op: OpPull, Key: "w", Iter: 1, Seq: uint64(1)<<32 | 2}
+	payload, wait, errResp := srv.preparePull(pull)
+	if wait != nil || errResp != nil || payload == nil {
+		t.Fatalf("first pull not ready: payload=%v wait=%v err=%v", payload, wait, errResp)
+	}
+	srv.countPullServed(pull) // response written; entry reclaimed
+	if srv.Outstanding() != 0 {
+		t.Fatalf("entry not reclaimed: Outstanding = %d", srv.Outstanding())
+	}
+	// The response is lost; the client retries with a fresh Seq.
+	retry := message{Op: OpPull, Key: "w", Iter: 1, Seq: uint64(1)<<32 | 3}
+	payload, wait, errResp = srv.preparePull(retry)
+	if wait != nil {
+		t.Fatal("retried pull parked on a recreated entry — would hang forever")
+	}
+	if errResp != nil {
+		t.Fatalf("retried pull rejected: %s", errResp.Payload)
+	}
+	got, err := Decode(payload)
+	if err != nil || len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("replayed payload = %v (%v), want [3 4]", got, err)
+	}
+	if n := reg.Snapshot().Counters["netps_server_replayed_pulls_total"]; n != 1 {
+		t.Fatalf("replayed_pulls = %d, want 1", n)
+	}
+	if srv.Outstanding() != 0 {
+		t.Fatalf("replayed pull recreated an entry: Outstanding = %d", srv.Outstanding())
+	}
+}
+
+// TestReclaimedPullFailsFastAfterPayloadEvicted shrinks the completed
+// log's payload budget to nothing and checks a late retry gets OpErr —
+// the bounded fallback — rather than blocking on an entry that will never
+// complete.
+func TestReclaimedPullFailsFastAfterPayloadEvicted(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv, err := NewServer(1, WithShards(1), WithCompletedBytes(1), WithServerMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	push := message{Op: OpPush, Key: "w", Iter: 1, Seq: uint64(1)<<32 | 1, Payload: Encode([]float32{3})}
+	srv.processPush(push)
+	pull := message{Op: OpPull, Key: "w", Iter: 1, Seq: uint64(1)<<32 | 2}
+	if _, wait, errResp := srv.preparePull(pull); wait != nil || errResp != nil {
+		t.Fatalf("first pull not ready: wait=%v err=%v", wait, errResp)
+	}
+	srv.countPullServed(pull)
+	retry := message{Op: OpPull, Key: "w", Iter: 1, Seq: uint64(1)<<32 | 3}
+	payload, wait, errResp := srv.preparePull(retry)
+	if wait != nil || payload != nil {
+		t.Fatal("retry after payload eviction must fail fast, not park or serve")
+	}
+	if errResp == nil || !strings.Contains(string(errResp.Payload), errAggregateReclaimed) {
+		t.Fatalf("errResp = %+v, want %q", errResp, errAggregateReclaimed)
+	}
+	if n := reg.Snapshot().Counters["netps_server_lost_pulls_total"]; n != 1 {
+		t.Fatalf("lost_pulls = %d, want 1", n)
+	}
+}
+
+// TestReclaimedPullReplayEndToEnd drives the same scenario over TCP: a
+// second client pulls a (key, iter) the first client already drained.
+// Pre-fix this pull hung until the test's pull deadline.
+func TestReclaimedPullReplayEndToEnd(t *testing.T) {
+	srv, err := NewServer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c1 := NewClient(addr, WithClientID(1), WithPullTimeout(2*time.Second))
+	defer c1.Close()
+	if err := c1.Push("w", 5, []float32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Pull("w", 5); err != nil {
+		t.Fatal(err)
+	}
+	// Entry reclaimed. A retried pull (different Seq — here a second
+	// client entirely) must still be answered.
+	c2 := NewClient(addr, WithClientID(2), WithPullTimeout(2*time.Second), WithRetries(0))
+	defer c2.Close()
+	vals, err := c2.Pull("w", 5)
+	if err != nil {
+		t.Fatalf("retried pull after reclaim: %v", err)
+	}
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 2 {
+		t.Fatalf("replayed aggregate = %v, want [1 2]", vals)
+	}
+}
+
+// --- netps_msgs_total frame accounting ---
+
+// TestMsgsCountsRetriedFrames runs one logical push against a server that
+// swallows the first frame and drops the connection, forcing a retry.
+// Two frames hit the wire for one logical request; pre-fix the counter
+// said one.
+func TestMsgsCountsRetriedFrames(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		// First connection: read the frame, then kill the connection
+		// without answering — a transport fault after the write.
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		readMessage(bufio.NewReader(conn)) //nolint:errcheck // dropping on purpose
+		conn.Close()
+		// Retry connection: behave.
+		conn, err = ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		req, err := readMessage(bufio.NewReader(conn))
+		if err != nil {
+			return
+		}
+		writeMessage(conn, pushAck(req)) //nolint:errcheck // test server
+	}()
+	reg := metrics.NewRegistry()
+	c := NewClient(ln.Addr().String(),
+		WithTimeout(2*time.Second), WithRetries(2),
+		WithBackoff(time.Millisecond, 10*time.Millisecond),
+		WithSeed(1), WithMetrics(reg))
+	defer c.Close()
+	if err := c.Push("k", 0, []float32{1}); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters["netps_requests_total"]; got != 1 {
+		t.Fatalf("requests = %d, want 1 logical request", got)
+	}
+	if got := snap.Counters["netps_msgs_total"]; got != 2 {
+		t.Fatalf("msgs = %d, want 2 wire frames (original + retry)", got)
+	}
+	if got := snap.Counters["netps_retries_total"]; got != 1 {
+		t.Fatalf("retries = %d, want 1", got)
+	}
+}
+
+// --- backoff overflow clamp ---
+
+// TestBackoffOverflowStillSleeps exercises the uncapped-backoff overflow:
+// with WithBackoff(base, 0), a deep retry attempt used to shift the delay
+// negative and skip sleeping entirely, turning the retry loop into a hot
+// spin. The overflowed delay must clamp back to (at least) the base.
+func TestBackoffOverflowStillSleeps(t *testing.T) {
+	c := NewClient("127.0.0.1:1", WithBackoff(4*time.Millisecond, 0), WithSeed(7))
+	defer c.Close()
+	for _, attempt := range []int{45, 64, 200} { // shifted past int64, incl. past the width
+		start := time.Now()
+		c.backoff(attempt)
+		if elapsed := time.Since(start); elapsed < time.Millisecond {
+			t.Fatalf("backoff(%d) returned after %v — overflow skipped the sleep", attempt, elapsed)
+		}
+	}
+}
+
+// TestBackoffOverflowClampsToMax keeps the capped behavior: overflow with
+// a max configured clamps to the max, not the base.
+func TestBackoffOverflowClampsToMax(t *testing.T) {
+	c := NewClient("127.0.0.1:1", WithBackoff(time.Millisecond, 5*time.Millisecond), WithSeed(7))
+	defer c.Close()
+	start := time.Now()
+	c.backoff(90)
+	elapsed := time.Since(start)
+	if elapsed < 2*time.Millisecond {
+		t.Fatalf("backoff(90) slept %v, want ~max (5ms±jitter)", elapsed)
+	}
+}
+
+// --- parked-conn resume must not pin a pool worker ---
+
+// TestResumedConnDoesNotHoldPoolWorker drives the whole pool through one
+// worker: client A's pull parks on aggregation, client B's push fulfills
+// it, and A then goes idle. Pre-fix the fulfilled connection was handed
+// straight back to the pool, where the lone worker sat in a blocking
+// read on A's idle socket until the server read deadline — starving
+// every other connection. Client C's fresh request must complete fast.
+func TestResumedConnDoesNotHoldPoolWorker(t *testing.T) {
+	srv, err := NewServer(2, WithHandlerPool(1), WithShards(1),
+		WithServerTimeouts(3*time.Second, 5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	a := NewClient(addr, WithClientID(1), WithPullTimeout(10*time.Second))
+	defer a.Close()
+	b := NewClient(addr, WithClientID(2))
+	defer b.Close()
+	c := NewClient(addr, WithClientID(3), WithPullTimeout(10*time.Second))
+	defer c.Close()
+
+	if err := a.Push("k", 1, []float32{1}); err != nil {
+		t.Fatal(err)
+	}
+	pulled := make(chan error, 1)
+	go func() {
+		_, err := a.Pull("k", 1) // parks: only 1 of 2 pushes in
+		pulled <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the pull reach the server and park
+	if err := b.Push("k", 1, []float32{2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-pulled; err != nil {
+		t.Fatalf("parked pull: %v", err)
+	}
+	// A is now idle on a resumed connection. Give the pool a moment to
+	// pick it up if it (wrongly) was requeued, then time C's request.
+	time.Sleep(100 * time.Millisecond)
+	start := time.Now()
+	if err := c.Push("fresh", 1, []float32{7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Push("fresh", 1, []float32{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := c.Pull("fresh", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("fresh request took %v: idle resumed conn is pinning the pool worker", elapsed)
+	}
+	if len(vals) != 2 || vals[0] != 8 || vals[1] != 8 {
+		t.Fatalf("fresh pull = %v, want [8 8]", vals)
+	}
+}
+
+// --- empty-push rejection ---
+
+// TestEmptyPushRejected sends a zero-length push and checks it is refused
+// with OpErr — pre-fix it silently locked the entry's shape at length
+// zero, poisoning every later well-formed push with "size mismatch".
+func TestEmptyPushRejected(t *testing.T) {
+	srv, err := NewServer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(addr, WithRetries(0))
+	defer c.Close()
+	err = c.Push("w", 0, nil)
+	if err == nil {
+		t.Fatal("empty push accepted")
+	}
+	if _, ok := err.(*ServerError); !ok || !strings.Contains(err.Error(), "empty push") {
+		t.Fatalf("empty push error = %v, want OpErr rejection", err)
+	}
+	// The rejected push must not have locked in a zero-length shape.
+	if err := c.Push("w", 0, []float32{1, 2}); err != nil {
+		t.Fatalf("well-formed push after empty push: %v", err)
+	}
+	vals, err := c.Pull("w", 0)
+	if err != nil || len(vals) != 2 {
+		t.Fatalf("pull after recovery = %v (%v), want [1 2]", vals, err)
+	}
+}
+
+// --- dedup gauge running count ---
+
+// TestDedupGaugeTracksClientEviction checks the O(1) running count stays
+// exact through whole-window client evictions, where the bookkeeping is
+// easiest to get wrong (pre-fix, a full-table rescan recomputed it on
+// every push instead).
+func TestDedupGaugeTracksClientEviction(t *testing.T) {
+	reg := metrics.NewRegistry()
+	srv, err := NewServer(1, WithShards(1), WithDedupCap(8), WithDedupClients(2), WithServerMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for client := 1; client <= 3; client++ { // third client evicts the first
+		for n := 1; n <= 3; n++ {
+			push := message{Op: OpPush, Key: fmt.Sprintf("k%d-%d", client, n),
+				Seq: uint64(client)<<32 | uint64(n), Payload: Encode([]float32{1})}
+			if resp, _, _ := srv.processPush(push); resp.Op != OpPush {
+				t.Fatalf("push rejected: %s", resp.Payload)
+			}
+		}
+	}
+	want := srv.DedupSize() // ground truth from the per-shard counts
+	if want != 6 {          // 2 surviving clients x 3 seqs
+		t.Fatalf("DedupSize = %d, want 6", want)
+	}
+	if got := reg.Snapshot().Gauges["netps_server_dedup_seqs"]; got != int64(want) {
+		t.Fatalf("dedup_seqs gauge = %d, want %d (running count drifted)", got, want)
+	}
+}
+
+// BenchmarkRecordPushGauge measures the per-push dedup-gauge cost with
+// many resident client windows: the running count is O(1) per push, while
+// the legacy full-table rescan (the pre-fix behavior, kept behind
+// legacyDedupScan for exactly this comparison) is O(total remembered
+// Seqs).
+func BenchmarkRecordPushGauge(b *testing.B) {
+	for _, mode := range []string{"running-count", "legacy-scan"} {
+		b.Run(mode, func(b *testing.B) {
+			reg := metrics.NewRegistry()
+			srv, err := NewServer(2, WithShards(1), WithServerMetrics(reg))
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv.legacyDedupScan = mode == "legacy-scan"
+			// Populate 128 clients x 512 seqs of dedup state.
+			for client := 1; client <= 128; client++ {
+				for n := 1; n <= 512; n++ {
+					sh := srv.shard("warm")
+					sh.mu.Lock()
+					sh.recordPush(srv, uint64(client)<<32|uint64(n))
+					sh.mu.Unlock()
+				}
+			}
+			payload := Encode(make([]float32, 64))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				push := message{Op: OpPush, Key: "hot", Iter: uint32(i),
+					Seq: uint64(200)<<32 | uint64(i+1), Payload: payload}
+				if resp, _, _ := srv.processPush(push); resp.Op != OpPush {
+					b.Fatalf("push rejected: %s", resp.Payload)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,169 @@
+//go:build linux
+
+package netps
+
+import (
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// newServeMux builds the platform connection multiplexer: on Linux, an
+// epoll poller that arms every connection with a oneshot readability
+// watch and feeds ready connections to the bounded handler pool. Idle
+// connections cost no goroutine — a thousand clients are served by
+// ~pool-size goroutines total.
+func newServeMux(s *Server) (serveMux, error) {
+	epfd, err := syscall.EpollCreate1(syscall.EPOLL_CLOEXEC)
+	if err != nil {
+		return nil, err
+	}
+	m := &epollMux{s: s, epfd: epfd, byTok: make(map[uint64]*srvConn)}
+	m.wg.Add(1)
+	s.goroutines.Add(1)
+	go m.run()
+	return m, nil
+}
+
+type epollMux struct {
+	s    *Server
+	epfd int
+
+	// mu serializes every EpollCtl against token-table mutation: a conn's
+	// fd must not be re-armed or deleted after close has released it (the
+	// kernel may reuse the fd number immediately), so remove() holds mu
+	// while deregistering and rearm() verifies the token is still live
+	// under the same lock.
+	mu    sync.Mutex
+	next  uint64
+	byTok map[uint64]*srvConn
+
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+}
+
+func (m *epollMux) needPool() bool { return true }
+
+// epollEvents is the readiness mask: readable data, peer half-close, and
+// oneshot — the fd goes quiet after firing until rearm(), so a connection
+// occupies at most one handler-pool queue slot at a time.
+const epollEvents = uint32(syscall.EPOLLIN | syscall.EPOLLRDHUP | syscall.EPOLLONESHOT)
+
+// register arms sc in the poller. Connections whose fd cannot be
+// extracted (not a syscall.Conn) fall back to a dedicated goroutine.
+func (m *epollMux) register(sc *srvConn) error {
+	rawConn, ok := sc.conn.(syscall.Conn)
+	if !ok {
+		m.s.spawnBlocking(sc)
+		return nil
+	}
+	rc, err := rawConn.SyscallConn()
+	if err != nil {
+		m.s.spawnBlocking(sc)
+		return nil
+	}
+	fd := -1
+	if err := rc.Control(func(f uintptr) { fd = int(f) }); err != nil || fd < 0 {
+		m.s.spawnBlocking(sc)
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped.Load() {
+		return syscall.EBADF
+	}
+	m.next++
+	tok := m.next
+	sc.fd = fd
+	sc.token = tok
+	m.byTok[tok] = sc
+	ev := syscall.EpollEvent{Events: epollEvents}
+	packToken(&ev, tok)
+	if err := syscall.EpollCtl(m.epfd, syscall.EPOLL_CTL_ADD, fd, &ev); err != nil {
+		delete(m.byTok, tok)
+		sc.fd, sc.token = -1, 0
+		return err
+	}
+	return nil
+}
+
+// rearm re-enables the oneshot watch after a handler drained sc's buffer.
+func (m *epollMux) rearm(sc *srvConn) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if sc.token == 0 || m.byTok[sc.token] != sc {
+		return // closed (or never registered); fd may already be reused
+	}
+	ev := syscall.EpollEvent{Events: epollEvents}
+	packToken(&ev, sc.token)
+	if err := syscall.EpollCtl(m.epfd, syscall.EPOLL_CTL_MOD, sc.fd, &ev); err != nil {
+		delete(m.byTok, sc.token)
+		sc.token = 0
+		go sc.close() // off-lock: close re-enters remove()
+	}
+}
+
+// remove deregisters sc before its fd is released. Called from
+// srvConn.close, so it must tolerate never-registered connections.
+func (m *epollMux) remove(sc *srvConn) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if sc.token == 0 || m.byTok[sc.token] != sc {
+		return
+	}
+	delete(m.byTok, sc.token)
+	syscall.EpollCtl(m.epfd, syscall.EPOLL_CTL_DEL, sc.fd, nil) //nolint:errcheck // fd may be mid-teardown
+	sc.token = 0
+	sc.fd = -1
+}
+
+// run is the poller loop: wait for readiness, translate tokens back to
+// connections, and hand them to the handler pool. The short wait timeout
+// bounds shutdown latency without a wakeup pipe.
+func (m *epollMux) run() {
+	defer m.wg.Done()
+	defer m.s.goroutines.Add(-1)
+	events := make([]syscall.EpollEvent, 128)
+	for !m.stopped.Load() {
+		n, err := syscall.EpollWait(m.epfd, events, 50)
+		if err != nil {
+			if err == syscall.EINTR {
+				continue
+			}
+			return // epfd closed
+		}
+		for i := 0; i < n; i++ {
+			tok := unpackToken(&events[i])
+			m.mu.Lock()
+			sc := m.byTok[tok]
+			m.mu.Unlock()
+			if sc == nil {
+				continue // closed between wait and lookup
+			}
+			// Oneshot disarmed the fd, so this is the connection's only
+			// live readiness notification: the pool owns it until rearm.
+			m.s.submit(sc)
+		}
+	}
+}
+
+// stop terminates the poller and closes the epoll fd.
+func (m *epollMux) stop() {
+	m.stopped.Store(true)
+	m.wg.Wait()
+	m.mu.Lock()
+	syscall.Close(m.epfd) //nolint:errcheck // teardown
+	m.mu.Unlock()
+}
+
+// packToken stores a 64-bit registration token in the event's user-data
+// fields (Fd carries the high half, Pad the low half — the struct has no
+// single 64-bit data field in this layout).
+func packToken(ev *syscall.EpollEvent, tok uint64) {
+	ev.Fd = int32(uint32(tok >> 32))
+	ev.Pad = int32(uint32(tok))
+}
+
+func unpackToken(ev *syscall.EpollEvent) uint64 {
+	return uint64(uint32(ev.Fd))<<32 | uint64(uint32(ev.Pad))
+}

@@ -1,0 +1,19 @@
+//go:build !linux
+
+package netps
+
+// newServeMux on non-Linux platforms returns the goroutine fallback: one
+// blocking serve goroutine per connection, the pre-pool behavior. The
+// sharded entry space and dedup tables still apply; only the
+// connection-to-goroutine economy differs.
+func newServeMux(s *Server) (serveMux, error) {
+	return goroutineMux{s: s}, nil
+}
+
+type goroutineMux struct{ s *Server }
+
+func (m goroutineMux) needPool() bool            { return false }
+func (m goroutineMux) register(sc *srvConn) error { m.s.spawnBlocking(sc); return nil }
+func (m goroutineMux) rearm(*srvConn)            {}
+func (m goroutineMux) remove(*srvConn)           {}
+func (m goroutineMux) stop()                     {}

@@ -299,6 +299,12 @@ func (r *HashRing) Servers() []int {
 	return out
 }
 
+// KeyHash is the assigners' stable FNV-1a key hash, exported so other
+// layers can partition the same key space consistently — the live netps
+// server uses it to pick the intra-server shard for a key, mirroring how
+// the hash-ring assigner places keys across servers.
+func KeyHash(key string) uint64 { return hash64(key) }
+
 // hash64 is FNV-1a over the key — stable across processes and Go versions,
 // unlike the runtime's map hash.
 func hash64(key string) uint64 {

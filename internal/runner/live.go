@@ -89,6 +89,13 @@ type LiveConfig struct {
 	// Seed seeds transport jitter; runs are *not* bitwise deterministic —
 	// this is wall-clock measurement, not simulation.
 	Seed int64
+	// PSShards overrides the PS server's lock-domain count
+	// (netps.DefaultShards); ignored by the ring backend. <= 0 keeps the
+	// default; 1 reproduces the old single-mutex server.
+	PSShards int
+	// PSPool overrides the PS server's handler-pool size
+	// (netps.DefaultPoolSize); ignored by the ring backend.
+	PSPool int
 }
 
 // LiveFIFO is the unscheduled live baseline: whole tensors, transmitted
@@ -279,7 +286,17 @@ func buildRingTransports(cfg LiveConfig) ([]liveTransport, func(), error) {
 }
 
 func buildPSTransports(cfg LiveConfig) ([]liveTransport, func(), error) {
-	srv, err := netps.NewServer(cfg.Workers)
+	srvOpts := []netps.ServerOption{}
+	if cfg.PSShards > 0 {
+		srvOpts = append(srvOpts, netps.WithShards(cfg.PSShards))
+	}
+	if cfg.PSPool > 0 {
+		srvOpts = append(srvOpts, netps.WithHandlerPool(cfg.PSPool))
+	}
+	if cfg.Metrics != nil {
+		srvOpts = append(srvOpts, netps.WithServerMetrics(cfg.Metrics))
+	}
+	srv, err := netps.NewServer(cfg.Workers, srvOpts...)
 	if err != nil {
 		return nil, nil, err
 	}
