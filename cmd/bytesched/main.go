@@ -26,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"bytescheduler/internal/compress"
 	"bytescheduler/internal/core"
 	"bytescheduler/internal/metrics"
 	"bytescheduler/internal/model"
@@ -72,6 +73,11 @@ type options struct {
 	// PSShards / PSPool tune the live PS server: lock-domain count and
 	// handler-pool size (0 keeps the netps defaults).
 	PSShards, PSPool int
+	// FuseTheta buckets live tensors smaller than this many bytes into one
+	// fused message (0 disables fusion).
+	FuseTheta int64
+	// Codec names the live wire codec (compress.ParseCodec spellings).
+	Codec string
 	// serveStarted, when non-nil, is invoked with the bound address instead
 	// of blocking in http.Serve — a hook for tests.
 	serveStarted func(addr string)
@@ -110,6 +116,10 @@ func main() {
 		"live PS server lock-domain count (with -backend ps; 0 = netps default, 1 = single lock)")
 	flag.IntVar(&o.PSPool, "ps-pool", 0,
 		"live PS server handler-pool size (with -backend ps; 0 = netps default)")
+	flag.Int64Var(&o.FuseTheta, "fuse-theta", 0,
+		"live fusion threshold in bytes: smaller tensors ride one fused message (0 disables; with -backend)")
+	flag.StringVar(&o.Codec, "codec", "",
+		"live wire codec: none, fp16, int8, topk:<keep> (with -backend)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bytesched:", err)
@@ -319,6 +329,10 @@ func runLive(o options) error {
 	if err != nil {
 		return err
 	}
+	codec, err := compress.ParseCodec(o.Codec)
+	if err != nil {
+		return err
+	}
 	iters, warmup := o.Iters, o.Warmup
 	if iters < warmup+2 {
 		iters = warmup + 2
@@ -335,6 +349,8 @@ func runLive(o options) error {
 		Seed:            o.Seed,
 		PSShards:        o.PSShards,
 		PSPool:          o.PSPool,
+		FuseTheta:       o.FuseTheta,
+		Codec:           codec,
 	}
 	var rec *trace.Recorder
 	if o.ChromeOut != "" {
@@ -366,6 +382,9 @@ func runLive(o options) error {
 	}
 	fmt.Printf("live %s x%d workers, %d layers (%.0f KB), policy=%s\n",
 		backend, cfg.Workers, len(layers), float64(total)/1024, policy.Name)
+	if cfg.FuseTheta > 0 || !codec.IsIdentity() {
+		fmt.Printf("  wire:      fuse-theta=%d B, codec=%s\n", cfg.FuseTheta, codec.Name())
+	}
 	fmt.Printf("  iter:      %10.2f ms  (%s)\n", res.IterTime*1e3, policy.Name)
 	fmt.Printf("  baseline:  %10.2f ms  (fifo)\n", base.IterTime*1e3)
 	fmt.Printf("  speedup:   %+9.1f%% over unscheduled\n", (base.IterTime-res.IterTime)/res.IterTime*100)

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // defaults returns run options for a small, fast experiment, overridden per
@@ -115,6 +116,25 @@ func TestRunHTTPMetricsEndpoint(t *testing.T) {
 	pp.Body.Close()
 	if pp.StatusCode != http.StatusOK {
 		t.Fatalf("pprof status = %d", pp.StatusCode)
+	}
+}
+
+func TestRunLiveFusedCodec(t *testing.T) {
+	o := defaults()
+	o.Backend = "ps"
+	o.LiveWorkers = 2
+	o.LiveLayers = "16,1,1,1,8"
+	o.LiveCompute = 100 * time.Microsecond
+	o.Iters = 3
+	o.Warmup = 0
+	o.FuseTheta = 4 << 10
+	o.Codec = "fp16"
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	o.Codec = "zstd"
+	if err := run(o); err == nil {
+		t.Fatal("unknown codec accepted")
 	}
 }
 

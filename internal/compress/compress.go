@@ -82,8 +82,11 @@ func (c Compressor) Validate() error {
 	switch c.Method {
 	case None, FP16, Int8:
 	case TopK:
-		if c.KeepRatio <= 0 || c.KeepRatio > 1 {
-			return fmt.Errorf("compress: top-k keep ratio %v out of (0,1]", c.KeepRatio)
+		// Each kept fp32 value carries a 4-byte index, so the wire size
+		// is 2*KeepRatio of the original (see Ratio): any KeepRatio above
+		// 0.5 would silently *inflate* traffic past the uncompressed size.
+		if c.KeepRatio <= 0 || c.KeepRatio > 0.5 {
+			return fmt.Errorf("compress: top-k keep ratio %v out of (0,0.5] (value+index wire cost is 2*keep)", c.KeepRatio)
 		}
 	default:
 		return fmt.Errorf("compress: unknown method %d", int(c.Method))
@@ -120,15 +123,20 @@ func (c Compressor) CodecSecPerByte() float64 {
 
 // Apply returns a derived model whose tensors carry the compressed sizes —
 // what the communication substrate actually moves. Layer structure, compute
-// calibration and priorities are unchanged. Tensor sizes are floored at 4
-// bytes so degenerate ratios cannot produce empty tensors.
-func (c Compressor) Apply(m *model.Model) *model.Model {
+// calibration and priorities are unchanged. An invalid configuration is
+// reported as an error (never a panic), so a bad CLI spec fails cleanly.
+//
+// Compressed sizes are rounded up to the 4-byte fp32 element size and
+// floored at one element: tensor.Partition tiles in whole bytes and the
+// netar float32 framing rejects non-multiple-of-4 payloads, so an
+// arbitrary truncated byte count would desynchronize the two.
+func (c Compressor) Apply(m *model.Model) (*model.Model, error) {
 	if err := c.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	ratio := c.Ratio()
 	if ratio == 1 {
-		return m
+		return m, nil
 	}
 	out := *m
 	out.Layers = make([]model.Layer, len(m.Layers))
@@ -137,13 +145,23 @@ func (c Compressor) Apply(m *model.Model) *model.Model {
 		nl.Tensors = make([]tensor.Tensor, len(l.Tensors))
 		for j, t := range l.Tensors {
 			nt := t
-			nt.Bytes = int64(float64(t.Bytes) * ratio)
-			if nt.Bytes < 4 {
-				nt.Bytes = 4
-			}
+			nt.Bytes = compressedSize(t.Bytes, ratio)
 			nl.Tensors[j] = nt
 		}
 		out.Layers[i] = nl
 	}
-	return &out
+	return &out, nil
+}
+
+// compressedSize scales b by ratio, rounding up to element (4-byte)
+// alignment with a one-element floor.
+func compressedSize(b int64, ratio float64) int64 {
+	n := int64(float64(b) * ratio)
+	if rem := n % 4; rem != 0 {
+		n += 4 - rem
+	}
+	if n < 4 {
+		n = 4
+	}
+	return n
 }

@@ -51,7 +51,10 @@ func TestCodecCost(t *testing.T) {
 
 func TestApplyScalesSizes(t *testing.T) {
 	m := model.VGG16()
-	half := NewFP16().Apply(m)
+	half, err := NewFP16().Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if half.TotalBytes() != m.TotalBytes()/2 {
 		t.Fatalf("fp16 total = %d, want %d", half.TotalBytes(), m.TotalBytes()/2)
 	}
@@ -70,18 +73,71 @@ func TestApplyScalesSizes(t *testing.T) {
 
 func TestApplyIdentity(t *testing.T) {
 	m := model.VGG16()
-	if got := (Compressor{Method: None}).Apply(m); got != m {
+	got, err := (Compressor{Method: None}).Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
 		t.Fatal("identity Apply should return the same model")
 	}
 }
 
 func TestApplyFloorsTinyTensors(t *testing.T) {
 	m := model.Synthetic("s", 2, 40, 0.01) // 40-byte layers
-	sparse := NewTopK(0.001).Apply(m)
+	sparse, err := NewTopK(0.001).Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, l := range sparse.Layers {
 		for _, tt := range l.Tensors {
 			if tt.Bytes < 4 {
 				t.Fatalf("tensor shrank below floor: %d", tt.Bytes)
+			}
+		}
+	}
+}
+
+// Regression: Apply used to panic on an invalid configuration; a bad CLI
+// spec must surface as an error instead of crashing the process.
+func TestApplyInvalidConfigReturnsError(t *testing.T) {
+	bad := Compressor{Method: TopK, KeepRatio: 0, CodecBytesPerSec: 1}
+	got, err := bad.Apply(model.VGG16())
+	if err == nil {
+		t.Fatal("invalid compressor accepted by Apply")
+	}
+	if got != nil {
+		t.Fatal("Apply returned a model alongside an error")
+	}
+}
+
+// Regression: KeepRatio in (0.5, 1] used to pass Validate even though the
+// value+index wire cost (2*KeepRatio) exceeds the uncompressed size.
+func TestTopKRejectsWireInflation(t *testing.T) {
+	if err := NewTopK(0.6).Validate(); err == nil {
+		t.Fatal("KeepRatio 0.6 accepted: Ratio() = 1.2 would inflate wire traffic")
+	}
+	if err := NewTopK(0.5).Validate(); err != nil {
+		t.Fatalf("KeepRatio 0.5 (break-even) rejected: %v", err)
+	}
+}
+
+// Regression: compressed sizes used to truncate to arbitrary byte counts;
+// they must stay fp32-element-aligned so Partition tiling and the netar
+// float32 framing agree.
+func TestApplyElementAlignedSizes(t *testing.T) {
+	// 1000B * 0.25 = 250B: not a multiple of 4 under plain truncation.
+	m := model.Synthetic("s", 3, 1000, 0.01)
+	q, err := NewInt8().Apply(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range q.Layers {
+		for _, tt := range l.Tensors {
+			if tt.Bytes%4 != 0 {
+				t.Fatalf("tensor %q: compressed size %dB not element-aligned", tt.Name, tt.Bytes)
+			}
+			if tt.Bytes < 4 {
+				t.Fatalf("tensor %q: compressed size %dB below one element", tt.Name, tt.Bytes)
 			}
 		}
 	}

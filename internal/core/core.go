@@ -148,6 +148,10 @@ type Task struct {
 	// has resolved — completed or permanently failed. Check Err to tell
 	// the two apart.
 	OnFinished func()
+	// Meta is caller-owned metadata the scheduler never touches. The
+	// Fuser's transmit callback reads it to recover per-member state (e.g.
+	// the live runner's gradient buffers) from a fused task's members.
+	Meta any
 
 	subs      []tensor.Sub
 	remaining int

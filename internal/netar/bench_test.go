@@ -1,0 +1,34 @@
+// Micro-benchmark of the netar frame hot path. Every ring hop frames one
+// segment, so writeMessage must stay allocation-free (pooled header
+// staging) even with the codec envelope fields set.
+//
+// Run with:
+//
+//	go test -bench FrameEncode -benchmem ./internal/netar/
+package netar
+
+import (
+	"io"
+	"testing"
+)
+
+func BenchmarkFrameEncode(b *testing.B) {
+	m := message{
+		Op:      OpData,
+		Codec:   1, // compress.CodecFP16
+		Iter:    7,
+		Seq:     42,
+		Step:    3,
+		Chunk:   1,
+		Orig:    256 << 10,
+		Key:     "layer12/weight:3",
+		Payload: make([]byte, 128<<10),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := writeMessage(io.Discard, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

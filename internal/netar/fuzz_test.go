@@ -30,6 +30,14 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(frame(message{Op: OpData, Iter: 2, Seq: 7, Step: 3, Chunk: 1, Key: "L05[1/4]", Payload: encodeFloats([]float32{1, -2, 3.5})}))
 	f.Add(frame(message{Op: OpErr, Payload: []byte("pending table full")}))
 	f.Add(frame(message{Op: OpData, Key: ""}))
+	// Codec-bearing segments: fp16, int8, and top-k payloads under their
+	// envelope codec ids and original-length fields.
+	f.Add(frame(message{Op: OpData, Codec: 1, Iter: 2, Seq: 8, Step: 3, Chunk: 1, Orig: 8,
+		Key: "L05[1/4]", Payload: []byte{0x3c, 0x00, 0xbc, 0x00}}))
+	f.Add(frame(message{Op: OpData, Codec: 2, Iter: 2, Seq: 9, Step: 4, Chunk: 2, Orig: 12,
+		Key: "L05[2/4]", Payload: []byte{0x3c, 0x81, 0x02, 0x04, 0x7f, 0x81, 0x00}}))
+	f.Add(frame(message{Op: OpData, Codec: 3, Iter: 2, Seq: 10, Step: 5, Chunk: 3, Orig: 16,
+		Key: "L05[3/4]", Payload: []byte{0, 0, 0, 1, 0, 0, 0, 0, 0x3f, 0x80, 0, 0}}))
 	// Adversarial length prefix: near-maxMessage advertised, zero carried.
 	huge := frame(message{Op: OpData, Key: "x"})
 	binary.BigEndian.PutUint32(huge[len(huge)-4:], maxMessage-1)
@@ -55,11 +63,14 @@ func FuzzDecodeFrame(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
-		if m.Op != m2.Op || m.Iter != m2.Iter || m.Seq != m2.Seq ||
-			m.Step != m2.Step || m.Chunk != m2.Chunk || m.Key != m2.Key ||
+		if m.Op != m2.Op || m.Codec != m2.Codec || m.Iter != m2.Iter || m.Seq != m2.Seq ||
+			m.Step != m2.Step || m.Chunk != m2.Chunk || m.Orig != m2.Orig || m.Key != m2.Key ||
 			!bytes.Equal(m.Payload, m2.Payload) {
 			t.Fatalf("round trip diverged: %+v vs %+v", m, m2)
 		}
+		// The codec-aware segment decoder must reject adversarial codec ids,
+		// original lengths, and payload framing without panicking.
+		_, _ = decodeSegment(m)
 		// Float payloads must decode iff their length is a multiple of 4,
 		// and re-encode losslessly (bit patterns, including NaNs).
 		if fs, err := decodeFloats(m.Payload); err == nil {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bytescheduler/internal/compress"
 	"bytescheduler/internal/metrics"
 	"bytescheduler/internal/stats"
 	"bytescheduler/internal/trace"
@@ -49,6 +50,15 @@ func WithMetrics(reg *metrics.Registry) Option {
 // "netar/r<rank>" lane — the live counterpart of the simulator's
 // all-reduce trace, in the same Chrome-trace schema.
 func WithTracer(w *trace.Wall) Option { return func(p *Peer) { p.tracer = w } }
+
+// WithCodec compresses every outbound ring segment through the given wire
+// codec; inbound segments decode by the codec id on the frame, so mixed
+// rings interoperate but every hop of a homogeneous ring moves compressed
+// bytes. Note that lossy codecs re-quantize at every hop — on an M-peer
+// ring a value crosses up to 2(M-1) encodes, so the error compounds with
+// ring size (unlike netps, which encodes once per direction). The default
+// is the identity (raw fp32) codec.
+func WithCodec(cd compress.Codec) Option { return func(p *Peer) { p.codec = cd } }
 
 // peerInstruments are the peer's resolved metric handles; all nil (and
 // therefore no-ops) unless WithMetrics attached a registry.
@@ -101,6 +111,7 @@ type Peer struct {
 	backoffMax  time.Duration
 	jitterFrac  float64
 	maxPending  int
+	codec       compress.Codec
 	inst        peerInstruments
 	tracer      *trace.Wall
 
@@ -110,6 +121,9 @@ type Peer struct {
 	// collectives never interleave partial frames.
 	sendMu sync.Mutex
 	succ   net.Conn
+	// encBuf is the codec staging buffer for outbound segments, reused
+	// under sendMu so steady-state sends do not allocate.
+	encBuf []byte
 
 	mu        sync.Mutex
 	rng       *stats.RNG
@@ -418,18 +432,19 @@ func (p *Peer) dropSlot(k slotKey) {
 	p.mu.Unlock()
 }
 
-// sendSegment frames and writes one ring segment to the successor under
-// the write deadline. Concurrent collectives serialize here so frames
-// never interleave.
-func (p *Peer) sendSegment(key string, iter uint32, step uint16, chunk uint16, payload []byte) error {
+// sendSegment encodes one ring segment through the peer's codec, frames
+// it, and writes it to the successor under the write deadline. Concurrent
+// collectives serialize here so frames never interleave; the codec staging
+// buffer is reused under the same lock, so steady-state sends do not
+// allocate.
+func (p *Peer) sendSegment(key string, iter uint32, step uint16, chunk uint16, seg []float32) error {
 	m := message{
-		Op:      OpData,
-		Iter:    iter,
-		Seq:     p.seq.Add(1),
-		Step:    step,
-		Chunk:   chunk,
-		Key:     key,
-		Payload: payload,
+		Op:    OpData,
+		Iter:  iter,
+		Seq:   p.seq.Add(1),
+		Step:  step,
+		Chunk: chunk,
+		Key:   key,
 	}
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
@@ -446,6 +461,15 @@ func (p *Peer) sendSegment(key string, iter uint32, step uint16, chunk uint16, p
 	if closed {
 		return fmt.Errorf("netar: peer closed")
 	}
+	if !p.codec.IsIdentity() {
+		m.Codec = uint8(p.codec.ID())
+		m.Orig = uint32(4 * len(seg))
+	}
+	// The identity codec's encoding is exactly encodeFloats, so one append
+	// path serves both; the buffer is safe to reuse because the write
+	// below completes before sendMu is released.
+	m.Payload = p.codec.AppendEncode(p.encBuf[:0], seg)
+	p.encBuf = m.Payload[:0]
 	if p.timeout > 0 {
 		p.succ.SetWriteDeadline(time.Now().Add(p.timeout))
 	}
@@ -453,7 +477,7 @@ func (p *Peer) sendSegment(key string, iter uint32, step uint16, chunk uint16, p
 		return fmt.Errorf("netar: send step %d to successor: %w", step, err)
 	}
 	p.inst.steps.Inc()
-	p.inst.bytesSent.Add(uint64(len(payload)))
+	p.inst.bytesSent.Add(uint64(len(m.Payload)))
 	return nil
 }
 
@@ -481,7 +505,7 @@ func (p *Peer) recvSegment(key string, iter uint32, step uint16, wantChunk uint1
 			return nil, fmt.Errorf("netar: step %d of %s#%d: got chunk %d, schedule expects %d (ring misconfigured?)",
 				step, key, iter, m.Chunk, wantChunk)
 		}
-		vals, err := decodeFloats(m.Payload)
+		vals, err := decodeSegment(m)
 		if err != nil {
 			return nil, err
 		}
@@ -552,7 +576,7 @@ func (p *Peer) allReduce(key string, iter uint32, data []float32) ([]float32, er
 		sendChunk := mod(p.rank-s, m)
 		recvChunk := mod(p.rank-s-1, m)
 		seg := acc[bounds[sendChunk]:bounds[sendChunk+1]]
-		if err := p.sendSegment(key, iter, uint16(s), uint16(sendChunk), encodeFloats(seg)); err != nil {
+		if err := p.sendSegment(key, iter, uint16(s), uint16(sendChunk), seg); err != nil {
 			return nil, err
 		}
 		vals, err := p.recvSegment(key, iter, uint16(s), uint16(recvChunk), bounds[recvChunk+1]-bounds[recvChunk])
@@ -571,7 +595,7 @@ func (p *Peer) allReduce(key string, iter uint32, data []float32) ([]float32, er
 		sendChunk := mod(p.rank+1-s, m)
 		recvChunk := mod(p.rank-s, m)
 		seg := acc[bounds[sendChunk]:bounds[sendChunk+1]]
-		if err := p.sendSegment(key, iter, step, uint16(sendChunk), encodeFloats(seg)); err != nil {
+		if err := p.sendSegment(key, iter, step, uint16(sendChunk), seg); err != nil {
 			return nil, err
 		}
 		vals, err := p.recvSegment(key, iter, step, uint16(recvChunk), bounds[recvChunk+1]-bounds[recvChunk])

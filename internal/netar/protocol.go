@@ -44,6 +44,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
+
+	"bytescheduler/internal/compress"
 )
 
 // Op is the wire operation code.
@@ -70,10 +73,14 @@ const maxPrealloc = 4 << 20
 
 // message is one framed ring segment.
 //
-//	op(1) iter(4) seq(8) step(2) chunk(2) keyLen(2) key payloadLen(4) payload
+//	op(1) codec(1) iter(4) seq(8) step(2) chunk(2) orig(4) keyLen(2) key payloadLen(4) payload
 type message struct {
-	Op   Op
-	Iter uint32
+	Op Op
+	// Codec is the wire codec id the payload is encoded with
+	// (compress.CodecID); 0 is raw fp32, so pre-codec frames parse
+	// unchanged.
+	Codec uint8
+	Iter  uint32
 	// Seq is a per-peer monotonic frame counter, for tracing and duplicate
 	// diagnostics (a persistent connection does not replay frames the way
 	// netps retries do, so Seq is observability, not correctness).
@@ -82,15 +89,26 @@ type message struct {
 	Step uint16
 	// Chunk is the vector chunk index the payload covers; the receiver
 	// verifies it against the schedule, catching ring misconfiguration.
-	Chunk   uint16
+	Chunk uint16
+	// Orig is the original (uncompressed) fp32 byte length of the segment;
+	// 0 when Codec is 0, where the payload length is the original length.
+	Orig    uint32
 	Key     string
 	Payload []byte
 }
 
 // fixedHeader is the length of the constant-size header prefix.
-const fixedHeader = 1 + 4 + 8 + 2 + 2 + 2
+const fixedHeader = 1 + 1 + 4 + 8 + 2 + 2 + 4 + 2
 
-// writeMessage frames and writes one message.
+// headerPool recycles the frame-header staging buffer so steady-state
+// writes do not allocate (writeMessage is on every ring hop's hot path).
+var headerPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 256)
+	return &b
+}}
+
+// writeMessage frames and writes one message. With the pooled header
+// staging buffer this is 0 allocs/op in steady state.
 func writeMessage(w io.Writer, m message) error {
 	if len(m.Key) > 1<<16-1 {
 		return fmt.Errorf("netar: key too long (%d bytes)", len(m.Key))
@@ -98,16 +116,26 @@ func writeMessage(w io.Writer, m message) error {
 	if len(m.Payload) > maxMessage {
 		return fmt.Errorf("netar: payload too large (%d bytes)", len(m.Payload))
 	}
-	hdr := make([]byte, fixedHeader+len(m.Key)+4)
+	bp := headerPool.Get().(*[]byte)
+	need := fixedHeader + len(m.Key) + 4
+	if cap(*bp) < need {
+		*bp = make([]byte, 0, need)
+	}
+	hdr := (*bp)[:need]
 	hdr[0] = byte(m.Op)
-	binary.BigEndian.PutUint32(hdr[1:5], m.Iter)
-	binary.BigEndian.PutUint64(hdr[5:13], m.Seq)
-	binary.BigEndian.PutUint16(hdr[13:15], m.Step)
-	binary.BigEndian.PutUint16(hdr[15:17], m.Chunk)
-	binary.BigEndian.PutUint16(hdr[17:19], uint16(len(m.Key)))
+	hdr[1] = m.Codec
+	binary.BigEndian.PutUint32(hdr[2:6], m.Iter)
+	binary.BigEndian.PutUint64(hdr[6:14], m.Seq)
+	binary.BigEndian.PutUint16(hdr[14:16], m.Step)
+	binary.BigEndian.PutUint16(hdr[16:18], m.Chunk)
+	binary.BigEndian.PutUint32(hdr[18:22], m.Orig)
+	binary.BigEndian.PutUint16(hdr[22:24], uint16(len(m.Key)))
 	copy(hdr[fixedHeader:], m.Key)
 	binary.BigEndian.PutUint32(hdr[fixedHeader+len(m.Key):], uint32(len(m.Payload)))
-	if _, err := w.Write(hdr); err != nil {
+	_, err := w.Write(hdr)
+	*bp = hdr[:0]
+	headerPool.Put(bp)
+	if err != nil {
 		return err
 	}
 	if len(m.Payload) > 0 {
@@ -154,12 +182,14 @@ func readMessage(r io.Reader) (message, error) {
 	}
 	m := message{
 		Op:    Op(fixed[0]),
-		Iter:  binary.BigEndian.Uint32(fixed[1:5]),
-		Seq:   binary.BigEndian.Uint64(fixed[5:13]),
-		Step:  binary.BigEndian.Uint16(fixed[13:15]),
-		Chunk: binary.BigEndian.Uint16(fixed[15:17]),
+		Codec: fixed[1],
+		Iter:  binary.BigEndian.Uint32(fixed[2:6]),
+		Seq:   binary.BigEndian.Uint64(fixed[6:14]),
+		Step:  binary.BigEndian.Uint16(fixed[14:16]),
+		Chunk: binary.BigEndian.Uint16(fixed[16:18]),
+		Orig:  binary.BigEndian.Uint32(fixed[18:22]),
 	}
-	keyLen := int(binary.BigEndian.Uint16(fixed[17:19]))
+	keyLen := int(binary.BigEndian.Uint16(fixed[22:24]))
 	buf := make([]byte, keyLen+4)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return message{}, err
@@ -196,6 +226,25 @@ func decodeFloats(payload []byte) ([]float32, error) {
 		out[i] = math.Float32frombits(binary.BigEndian.Uint32(payload[i*4:]))
 	}
 	return out, nil
+}
+
+// decodeSegment recovers a segment's float32 values by its codec envelope:
+// codec 0 is the raw fp32 path, anything else decodes Orig/4 elements
+// through the identified codec. The caller verifies the element count
+// against the schedule.
+func decodeSegment(m message) ([]float32, error) {
+	if m.Codec == 0 {
+		return decodeFloats(m.Payload)
+	}
+	cd, err := compress.CodecByID(compress.CodecID(m.Codec))
+	if err != nil {
+		return nil, fmt.Errorf("netar: segment: %v", err)
+	}
+	if m.Orig == 0 || m.Orig%4 != 0 {
+		return nil, fmt.Errorf("netar: segment original length %d not a positive multiple of 4", m.Orig)
+	}
+	n := int(m.Orig / 4)
+	return cd.AppendDecode(make([]float32, 0, n), m.Payload, n)
 }
 
 // chunkBounds cuts a vector of n values into m near-equal chunks and

@@ -1,0 +1,41 @@
+// Exact allocation counts are meaningless under the race detector (its
+// instrumentation and sync.Pool behavior add allocations), so this file is
+// excluded from race builds — the same split the determinism suite uses.
+
+//go:build !race
+
+package netps
+
+import (
+	"io"
+	"testing"
+)
+
+// TestWriteMessageVecSteadyStateAllocs pins the writev response path at
+// zero steady-state allocations. Pre-fix, writeMessageVec called WriteTo
+// on the pooled net.Buffers directly; WriteTo consumes its receiver down
+// to zero length AND zero capacity, so the pool recycled a useless cap-0
+// slice and every payload-bearing frame reallocated the two-element
+// array. The first write may populate pools, so one warm-up write
+// precedes the measurement.
+func TestWriteMessageVecSteadyStateAllocs(t *testing.T) {
+	m := message{
+		Op:      OpPull,
+		Codec:   2,
+		Iter:    7,
+		Seq:     1<<32 | 42,
+		Orig:    256 << 10,
+		Key:     "layer12/weight:3",
+		Payload: make([]byte, 4+64<<10),
+	}
+	if err := writeMessageVec(io.Discard, m); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if err := writeMessageVec(io.Discard, m); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("writeMessageVec allocates %.1f/op in steady state, want 0 (pooled Buffers consumed)", n)
+	}
+}

@@ -72,7 +72,8 @@ func (c *Client) PushBatch(items []BatchPush) ([]error, error) {
 	}
 	subs := make([]message, len(items))
 	for i, it := range items {
-		subs[i] = message{Op: OpPush, Iter: it.Iter, Key: it.Key, Seq: c.nextSeq(), Payload: Encode(it.Grad)}
+		subs[i] = c.pushMessage(it.Key, it.Iter, it.Grad)
+		subs[i].Seq = c.nextSeq()
 	}
 	out, err := c.roundTripBatch(subs, false)
 	if err != nil {
@@ -114,7 +115,7 @@ func (c *Client) PullBatch(items []BatchPull) ([][]float32, []error, error) {
 			c.inst.serverErrors.Inc()
 			continue
 		}
-		if vals[i], errs[i] = Decode(out[i].Payload); errs[i] == nil {
+		if vals[i], errs[i] = decodePayload(out[i]); errs[i] == nil {
 			c.inst.bytesPulled.Add(uint64(len(out[i].Payload)))
 		}
 	}

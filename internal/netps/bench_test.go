@@ -80,9 +80,52 @@ func BenchmarkServerPull(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		payload, wait, errResp := srv.preparePull(req)
-		if errResp != nil || wait != nil || len(payload) != len(grad)*4 {
+		result, wait, errResp := srv.preparePull(req)
+		if errResp != nil || wait != nil || len(result.payload) != len(grad)*4 {
 			b.Fatal("pull not served from the ready fast path")
+		}
+	}
+}
+
+// BenchmarkProtocolEncodeCodec frames a codec-bearing push (fp16, 128 KB
+// compressed from 256 KB) per iteration — the envelope's new codec id and
+// original-length fields must not reintroduce allocations.
+func BenchmarkProtocolEncodeCodec(b *testing.B) {
+	m := message{
+		Op:      OpPush,
+		Codec:   1, // compress.CodecFP16
+		Iter:    7,
+		Seq:     1<<32 | 42,
+		Orig:    256 << 10,
+		Key:     "layer12/weight:3",
+		Payload: make([]byte, 128<<10),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := writeMessage(io.Discard, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtocolEncodeVecCodec is the scatter-gather (response-path)
+// variant of BenchmarkProtocolEncodeCodec.
+func BenchmarkProtocolEncodeVecCodec(b *testing.B) {
+	m := message{
+		Op:      OpPull,
+		Codec:   2, // compress.CodecInt8
+		Iter:    7,
+		Seq:     1<<32 | 42,
+		Orig:    256 << 10,
+		Key:     "layer12/weight:3",
+		Payload: make([]byte, 4+64<<10),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := writeMessageVec(io.Discard, m); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -129,7 +129,7 @@ func RunLoad(opts LoadOptions) (LoadResult, error) {
 			}
 			pull := message{Op: OpPull, Key: key, Iter: iter,
 				Seq: uint64(id+1)<<32 | (n | 1<<31)}
-			if p, wait, errResp := srv.preparePull(pull); p != nil {
+			if p, wait, errResp := srv.preparePull(pull); p.payload != nil {
 				srv.countPullServed(pull)
 			} else if wait != nil {
 				<-wait

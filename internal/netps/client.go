@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bytescheduler/internal/compress"
 	"bytescheduler/internal/metrics"
 	"bytescheduler/internal/stats"
 	"bytescheduler/internal/trace"
@@ -116,6 +117,13 @@ func WithMetrics(reg *metrics.Registry) Option {
 // trace, in the same Chrome-trace schema.
 func WithTracer(w *trace.Wall) Option { return func(c *Client) { c.tracer = w } }
 
+// WithCodec compresses every push through the given wire codec; the
+// server decodes, aggregates in fp32, and re-encodes the aggregate with
+// the same codec, so pulls come back compressed too. All workers pushing
+// one (key, iter) must use the same codec — the server rejects mixed
+// codecs. The default is the identity (raw fp32) codec.
+func WithCodec(cd compress.Codec) Option { return func(c *Client) { c.codec = cd } }
+
 // clientInstruments are the client's resolved metric handles; all nil (and
 // therefore no-ops) unless WithMetrics attached a registry.
 type clientInstruments struct {
@@ -159,6 +167,7 @@ type Client struct {
 	batchDelay  time.Duration
 	id          uint32
 	seq         atomic.Uint32
+	codec       compress.Codec
 	inst        clientInstruments
 	tracer      *trace.Wall
 
@@ -415,10 +424,44 @@ func (c *Client) attempt(req message) (message, error) {
 	}
 }
 
+// pushMessage frames one push through the client's codec. Identity keeps
+// the legacy envelope (codec 0, orig 0) byte-for-byte; other codecs carry
+// the codec id and the original fp32 byte length so the server can decode
+// without out-of-band configuration.
+func (c *Client) pushMessage(key string, iter uint32, grad []float32) message {
+	m := message{Op: OpPush, Iter: iter, Key: key}
+	if c.codec.IsIdentity() {
+		m.Payload = Encode(grad)
+		return m
+	}
+	m.Codec = uint8(c.codec.ID())
+	m.Orig = uint32(4 * len(grad))
+	m.Payload = c.codec.AppendEncode(make([]byte, 0, c.codec.EncodedLen(len(grad))), grad)
+	return m
+}
+
+// decodePayload decodes a pull response by its codec envelope: codec 0 is
+// the raw fp32 path, anything else decodes Orig/4 elements through the
+// identified codec.
+func decodePayload(m message) ([]float32, error) {
+	if m.Codec == 0 {
+		return Decode(m.Payload)
+	}
+	cd, err := compress.CodecByID(compress.CodecID(m.Codec))
+	if err != nil {
+		return nil, fmt.Errorf("netps: pull response: %v", err)
+	}
+	if m.Orig == 0 || m.Orig%4 != 0 {
+		return nil, fmt.Errorf("netps: pull response original length %d not a positive multiple of 4", m.Orig)
+	}
+	n := int(m.Orig / 4)
+	return cd.AppendDecode(make([]float32, 0, n), m.Payload, n)
+}
+
 // Push sends a gradient partition and returns when the server acknowledges
 // it.
 func (c *Client) Push(key string, iter uint32, grad []float32) error {
-	_, err := c.roundTrip(message{Op: OpPush, Iter: iter, Key: key, Payload: Encode(grad)})
+	_, err := c.roundTrip(c.pushMessage(key, iter, grad))
 	return err
 }
 
@@ -429,7 +472,7 @@ func (c *Client) Pull(key string, iter uint32) ([]float32, error) {
 	if err != nil {
 		return nil, err
 	}
-	return Decode(resp.Payload)
+	return decodePayload(resp)
 }
 
 // Close closes pooled connections; in-flight round trips own their

@@ -24,7 +24,7 @@ type completedLog struct {
 	budget int // payload-tier byte budget; <= 0 disables the tier
 	bytes  int // current payload-tier usage
 
-	payloads map[entryKey][]byte
+	payloads map[entryKey]agg
 	order    []entryKey // payload-tier FIFO
 
 	knownCap   int // identity-tier size; <= 0 disables the tier
@@ -35,16 +35,17 @@ type completedLog struct {
 func newCompletedLog(budget, knownCap int) completedLog {
 	return completedLog{
 		budget:   budget,
-		payloads: make(map[entryKey][]byte),
+		payloads: make(map[entryKey]agg),
 		knownCap: knownCap,
 		knownSet: make(map[entryKey]struct{}),
 	}
 }
 
-// add records a reclaimed aggregate. The payload is retained by reference
-// (it is the entry's frozen encoded buffer — nothing mutates it after
-// aggregation completes).
-func (l *completedLog) add(k entryKey, payload []byte) {
+// add records a reclaimed aggregate (payload plus the codec envelope
+// fields a re-answered pull must echo). The payload is retained by
+// reference (it is the entry's frozen encoded buffer — nothing mutates it
+// after aggregation completes).
+func (l *completedLog) add(k entryKey, a agg) {
 	if l.knownCap > 0 {
 		if _, ok := l.knownSet[k]; !ok {
 			if len(l.knownOrder) >= l.knownCap {
@@ -56,24 +57,24 @@ func (l *completedLog) add(k entryKey, payload []byte) {
 			l.knownOrder = append(l.knownOrder, k)
 		}
 	}
-	if l.budget <= 0 || len(payload) > l.budget {
+	if l.budget <= 0 || len(a.payload) > l.budget {
 		return // payload can never fit; the identity tier still covers it
 	}
 	if old, ok := l.payloads[k]; ok {
 		// Same (key, iter) reclaimed again (e.g. after a crash-recovery
 		// re-push): keep the newest payload, adjust usage in place.
-		l.bytes += len(payload) - len(old)
-		l.payloads[k] = payload
+		l.bytes += len(a.payload) - len(old.payload)
+		l.payloads[k] = a
 	} else {
-		l.payloads[k] = payload
+		l.payloads[k] = a
 		l.order = append(l.order, k)
-		l.bytes += len(payload)
+		l.bytes += len(a.payload)
 	}
 	for l.bytes > l.budget && len(l.order) > 0 {
 		old := l.order[0]
 		l.order = l.order[1:]
 		if p, ok := l.payloads[old]; ok {
-			l.bytes -= len(p)
+			l.bytes -= len(p.payload)
 			delete(l.payloads, old)
 		}
 	}
@@ -81,7 +82,7 @@ func (l *completedLog) add(k entryKey, payload []byte) {
 
 // payload returns the retained aggregate for k, if its payload is still
 // within budget.
-func (l *completedLog) payload(k entryKey) ([]byte, bool) {
+func (l *completedLog) payload(k entryKey) (agg, bool) {
 	p, ok := l.payloads[k]
 	return p, ok
 }

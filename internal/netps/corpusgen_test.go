@@ -1,0 +1,45 @@
+// Regenerates the committed fuzz corpus seeds for codec-bearing frames.
+// The committed files keep the codec envelope (codec id + original length)
+// regression-tested by plain `go test` even where fuzzing never runs.
+//
+// Refresh after a framing change with:
+//
+//	GEN_FUZZ_CORPUS=1 go test ./internal/netps/ -run TestGenerateCodecCorpus
+package netps
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateCodecCorpus(t *testing.T) {
+	if os.Getenv("GEN_FUZZ_CORPUS") == "" {
+		t.Skip("set GEN_FUZZ_CORPUS=1 to rewrite testdata/fuzz seeds")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeMessage")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	seeds := []message{
+		{Op: OpPush, Codec: 1, Iter: 5, Seq: 11, Orig: 8,
+			Key: "w0/L07[0/4]", Payload: []byte{0x3c, 0x00, 0xbc, 0x00}},
+		{Op: OpPush, Codec: 2, Iter: 5, Seq: 12, Orig: 12,
+			Key: "w0/L07[1/4]", Payload: []byte{0x3c, 0x81, 0x02, 0x04, 0x7f, 0x81, 0x00}},
+		{Op: OpPull, Codec: 3, Iter: 5, Orig: 16,
+			Key: "w0/L07[2/4]", Payload: []byte{0, 0, 0, 1, 0, 0, 0, 0, 0x3f, 0x80, 0, 0}},
+	}
+	for i, m := range seeds {
+		var b bytes.Buffer
+		if err := writeMessage(&b, m); err != nil {
+			t.Fatal(err)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b.String())
+		name := filepath.Join(dir, fmt.Sprintf("codec%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -29,9 +29,9 @@ func TestReclaimedPullReplayedFromCompletedLog(t *testing.T) {
 		t.Fatalf("push response: %+v", resp)
 	}
 	pull := message{Op: OpPull, Key: "w", Iter: 1, Seq: uint64(1)<<32 | 2}
-	payload, wait, errResp := srv.preparePull(pull)
-	if wait != nil || errResp != nil || payload == nil {
-		t.Fatalf("first pull not ready: payload=%v wait=%v err=%v", payload, wait, errResp)
+	result, wait, errResp := srv.preparePull(pull)
+	if wait != nil || errResp != nil || result.payload == nil {
+		t.Fatalf("first pull not ready: result=%v wait=%v err=%v", result, wait, errResp)
 	}
 	srv.countPullServed(pull) // response written; entry reclaimed
 	if srv.Outstanding() != 0 {
@@ -39,14 +39,14 @@ func TestReclaimedPullReplayedFromCompletedLog(t *testing.T) {
 	}
 	// The response is lost; the client retries with a fresh Seq.
 	retry := message{Op: OpPull, Key: "w", Iter: 1, Seq: uint64(1)<<32 | 3}
-	payload, wait, errResp = srv.preparePull(retry)
+	result, wait, errResp = srv.preparePull(retry)
 	if wait != nil {
 		t.Fatal("retried pull parked on a recreated entry — would hang forever")
 	}
 	if errResp != nil {
 		t.Fatalf("retried pull rejected: %s", errResp.Payload)
 	}
-	got, err := Decode(payload)
+	got, err := Decode(result.payload)
 	if err != nil || len(got) != 2 || got[0] != 3 || got[1] != 4 {
 		t.Fatalf("replayed payload = %v (%v), want [3 4]", got, err)
 	}
@@ -76,8 +76,8 @@ func TestReclaimedPullFailsFastAfterPayloadEvicted(t *testing.T) {
 	}
 	srv.countPullServed(pull)
 	retry := message{Op: OpPull, Key: "w", Iter: 1, Seq: uint64(1)<<32 | 3}
-	payload, wait, errResp := srv.preparePull(retry)
-	if wait != nil || payload != nil {
+	result, wait, errResp := srv.preparePull(retry)
+	if wait != nil || result.payload != nil {
 		t.Fatal("retry after payload eviction must fail fast, not park or serve")
 	}
 	if errResp == nil || !strings.Contains(string(errResp.Payload), errAggregateReclaimed) {

@@ -36,6 +36,14 @@ func FuzzDecodeMessage(f *testing.F) {
 	f.Add(frame(f, message{Op: OpPush, Iter: 3, Seq: 9, Key: "w0/L07[0/4]", Payload: []byte{1, 2, 3, 4}}))
 	f.Add(frame(f, message{Op: OpPull, Key: "k"}))
 	f.Add(frame(f, message{Op: OpErr, Payload: []byte("bad request")}))
+	// Codec-bearing frames: fp16 (2 elements), int8 (scale + 3 quanta), and
+	// top-k (count 1, index 0) payloads under their envelope codec ids.
+	f.Add(frame(f, message{Op: OpPush, Codec: 1, Iter: 5, Seq: 11, Orig: 8,
+		Key: "w0/L07[0/4]", Payload: []byte{0x3c, 0x00, 0xbc, 0x00}}))
+	f.Add(frame(f, message{Op: OpPush, Codec: 2, Iter: 5, Seq: 12, Orig: 12,
+		Key: "w0/L07[1/4]", Payload: []byte{0x3c, 0x81, 0x02, 0x04, 0x7f, 0x81, 0x00}}))
+	f.Add(frame(f, message{Op: OpPull, Codec: 3, Iter: 5, Orig: 16,
+		Key: "w0/L07[2/4]", Payload: []byte{0, 0, 0, 1, 0, 0, 0, 0, 0x3f, 0x80, 0, 0}}))
 	// Adversarial length prefix: header advertises a near-maxMessage
 	// payload backed by nothing.
 	huge := frame(f, message{Op: OpPush, Key: "x"})
@@ -61,13 +69,17 @@ func FuzzDecodeMessage(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
-		if m.Op != m2.Op || m.Iter != m2.Iter || m.Seq != m2.Seq || m.Key != m2.Key || !bytes.Equal(m.Payload, m2.Payload) {
+		if m.Op != m2.Op || m.Codec != m2.Codec || m.Iter != m2.Iter || m.Seq != m2.Seq ||
+			m.Orig != m2.Orig || m.Key != m2.Key || !bytes.Equal(m.Payload, m2.Payload) {
 			t.Fatalf("round trip diverged: %+v vs %+v", m, m2)
 		}
 		// The payload can never exceed what the input actually carried.
 		if len(m.Payload) > len(data) {
 			t.Fatalf("decoded payload %d bytes from %d input bytes", len(m.Payload), len(data))
 		}
+		// The codec-aware payload decoder must reject adversarial codec
+		// ids, original lengths, and payload framing without panicking.
+		_, _ = decodePayload(m)
 	})
 }
 

@@ -74,16 +74,23 @@ const maxPrealloc = 4 << 20
 
 // header is the fixed-size request/response prefix.
 //
-//	op(1) iter(4) seq(8) keyLen(2) key payloadLen(4) payload
+//	op(1) codec(1) iter(4) seq(8) orig(4) keyLen(2) key payloadLen(4) payload
 type message struct {
-	Op   Op
-	Iter uint32
+	Op Op
+	// Codec is the wire-codec id (compress.CodecID) the payload is encoded
+	// with; 0 is raw fp32, so every pre-codec frame parses unchanged.
+	Codec uint8
+	Iter  uint32
 	// Seq identifies the logical request. A client keeps the same Seq when
 	// it retries a request on a new connection, so the server can
 	// deduplicate pushes whose first attempt was processed but whose
 	// acknowledgement was lost (gradient sums are not idempotent).
 	// Responses echo the request's Seq.
-	Seq     uint64
+	Seq uint64
+	// Orig is the original (uncompressed) payload byte length when Codec is
+	// non-zero — the receiver needs the element count to decode (fp16/int8
+	// sizes derive from it; top-k zero-fills to it). Zero when Codec is 0.
+	Orig    uint32
 	Key     string
 	Payload []byte
 	// blocking marks a request whose response may legitimately wait on
@@ -94,7 +101,35 @@ type message struct {
 }
 
 // fixedHeader is the length of the constant-size header prefix.
-const fixedHeader = 1 + 4 + 8 + 2
+const fixedHeader = 1 + 1 + 4 + 8 + 4 + 2
+
+// putFixed serializes the constant-size header prefix of m into
+// hdr[:fixedHeader] followed by the key and the payload length — the shared
+// layout of appendMessage, writeMessage and writeMessageVec. hdr must be
+// fixedHeader+len(key)+4 bytes.
+func putFixed(hdr []byte, m message) {
+	hdr[0] = byte(m.Op)
+	hdr[1] = m.Codec
+	binary.BigEndian.PutUint32(hdr[2:6], m.Iter)
+	binary.BigEndian.PutUint64(hdr[6:14], m.Seq)
+	binary.BigEndian.PutUint32(hdr[14:18], m.Orig)
+	binary.BigEndian.PutUint16(hdr[18:20], uint16(len(m.Key)))
+	copy(hdr[fixedHeader:], m.Key)
+	binary.BigEndian.PutUint32(hdr[fixedHeader+len(m.Key):], uint32(len(m.Payload)))
+}
+
+// parseFixed deserializes the constant-size prefix (the inverse of
+// putFixed's first fixedHeader bytes) and returns the key length.
+func parseFixed(fixed []byte) (message, int) {
+	m := message{
+		Op:    Op(fixed[0]),
+		Codec: fixed[1],
+		Iter:  binary.BigEndian.Uint32(fixed[2:6]),
+		Seq:   binary.BigEndian.Uint64(fixed[6:14]),
+		Orig:  binary.BigEndian.Uint32(fixed[14:18]),
+	}
+	return m, int(binary.BigEndian.Uint16(fixed[18:20]))
+}
 
 // appendMessage frames m onto buf (the same wire format writeMessage
 // emits) and returns the extended slice — used to build OpBatch payloads.
@@ -105,17 +140,16 @@ func appendMessage(buf []byte, m message) ([]byte, error) {
 	if len(m.Payload) > maxMessage {
 		return nil, fmt.Errorf("netps: payload too large (%d bytes)", len(m.Payload))
 	}
-	var fixed [fixedHeader]byte
-	fixed[0] = byte(m.Op)
-	binary.BigEndian.PutUint32(fixed[1:5], m.Iter)
-	binary.BigEndian.PutUint64(fixed[5:13], m.Seq)
-	binary.BigEndian.PutUint16(fixed[13:15], uint16(len(m.Key)))
-	buf = append(buf, fixed[:]...)
-	buf = append(buf, m.Key...)
-	var plen [4]byte
-	binary.BigEndian.PutUint32(plen[:], uint32(len(m.Payload)))
-	buf = append(buf, plen[:]...)
+	bp := headerPool.Get().(*[]byte)
+	need := fixedHeader + len(m.Key) + 4
+	if cap(*bp) < need {
+		*bp = make([]byte, 0, need)
+	}
+	hdr := (*bp)[:need]
+	putFixed(hdr, m)
+	buf = append(buf, hdr...)
 	buf = append(buf, m.Payload...)
+	headerPool.Put(bp)
 	return buf, nil
 }
 
@@ -148,12 +182,7 @@ func decodeBatch(payload []byte) ([]message, error) {
 		if len(payload)-off < fixedHeader {
 			return nil, fmt.Errorf("netps: truncated batch sub-header at offset %d", off)
 		}
-		m := message{
-			Op:   Op(payload[off]),
-			Iter: binary.BigEndian.Uint32(payload[off+1 : off+5]),
-			Seq:  binary.BigEndian.Uint64(payload[off+5 : off+13]),
-		}
-		keyLen := int(binary.BigEndian.Uint16(payload[off+13 : off+15]))
+		m, keyLen := parseFixed(payload[off : off+fixedHeader])
 		off += fixedHeader
 		if len(payload)-off < keyLen+4 {
 			return nil, fmt.Errorf("netps: truncated batch sub-key at offset %d", off)
@@ -202,12 +231,7 @@ func writeMessage(w io.Writer, m message) error {
 		*bp = make([]byte, 0, n)
 	}
 	hdr := (*bp)[:n]
-	hdr[0] = byte(m.Op)
-	binary.BigEndian.PutUint32(hdr[1:5], m.Iter)
-	binary.BigEndian.PutUint64(hdr[5:13], m.Seq)
-	binary.BigEndian.PutUint16(hdr[13:15], uint16(len(m.Key)))
-	copy(hdr[fixedHeader:], m.Key)
-	binary.BigEndian.PutUint32(hdr[fixedHeader+len(m.Key):], uint32(len(m.Payload)))
+	putFixed(hdr, m)
 	_, err := w.Write(hdr)
 	headerPool.Put(bp)
 	if err != nil {
@@ -249,21 +273,23 @@ func writeMessageVec(w io.Writer, m message) error {
 		*bp = make([]byte, 0, n)
 	}
 	hdr := (*bp)[:n]
-	hdr[0] = byte(m.Op)
-	binary.BigEndian.PutUint32(hdr[1:5], m.Iter)
-	binary.BigEndian.PutUint64(hdr[5:13], m.Seq)
-	binary.BigEndian.PutUint16(hdr[13:15], uint16(len(m.Key)))
-	copy(hdr[fixedHeader:], m.Key)
-	binary.BigEndian.PutUint32(hdr[fixedHeader+len(m.Key):], uint32(len(m.Payload)))
+	putFixed(hdr, m)
 	if len(m.Payload) == 0 {
 		_, err := w.Write(hdr)
 		headerPool.Put(bp)
 		return err
 	}
 	vp := vecPool.Get().(*net.Buffers)
-	*vp = append((*vp)[:0], hdr, m.Payload)
+	bufs := append((*vp)[:0], hdr, m.Payload)
+	*vp = bufs
 	_, err := vp.WriteTo(w)
-	*vp = (*vp)[:0] // drop payload reference before pooling
+	// WriteTo consumes the Buffers it is called on — it advances *vp to
+	// zero length AND zero capacity. Restore the pooled slice from the
+	// pre-consume header so the pool keeps the backing array; pooling the
+	// consumed cap-0 slice would make every subsequent frame reallocate
+	// the two-element array (the pool would recycle nothing).
+	bufs[0], bufs[1] = nil, nil // drop payload references before pooling
+	*vp = bufs[:0]
 	vecPool.Put(vp)
 	headerPool.Put(bp)
 	return err
@@ -303,12 +329,7 @@ func readMessage(r io.Reader) (message, error) {
 	if _, err := io.ReadFull(r, fixed[:]); err != nil {
 		return message{}, err
 	}
-	m := message{
-		Op:   Op(fixed[0]),
-		Iter: binary.BigEndian.Uint32(fixed[1:5]),
-		Seq:  binary.BigEndian.Uint64(fixed[5:13]),
-	}
-	keyLen := int(binary.BigEndian.Uint16(fixed[13:15]))
+	m, keyLen := parseFixed(fixed[:])
 	buf := make([]byte, keyLen+4)
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return message{}, err

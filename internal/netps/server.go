@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bytescheduler/internal/compress"
 	"bytescheduler/internal/metrics"
 	"bytescheduler/internal/ps"
 )
@@ -189,10 +190,18 @@ type entryKey struct {
 type entry struct {
 	sum    []float32
 	pushes int
-	// encoded caches the big-endian serialization of sum, computed once
-	// when aggregation completes (sum is frozen from then on: overflow
+	// codec is the wire codec all of this entry's pushes arrived under
+	// (fixed by the first push; mixed-codec pushes to one key are
+	// rejected). Pull responses re-encode the aggregate with it.
+	codec uint8
+	// topk is the per-worker element count of top-k pushes (from the first
+	// push's payload header), so the aggregate is re-sparsified to the same
+	// count; 0 for other codecs.
+	topk uint32
+	// encoded caches the wire serialization of sum (under codec), computed
+	// once when aggregation completes (sum is frozen from then on: overflow
 	// pushes are rejected). Every pull response shares this one buffer —
-	// responses only ever read it — so serving W workers costs one float
+	// responses only ever read it — so serving W workers costs one
 	// marshal total instead of one per pull.
 	encoded []byte
 	// pullSeen records which logical pulls were already counted as served,
@@ -204,23 +213,33 @@ type entry struct {
 	served   int
 }
 
+// agg is a completed aggregate in wire form: the encoded payload plus the
+// codec envelope fields (codec id, original byte length) every pull
+// response must echo so the client can decode. codec 0 leaves orig 0 —
+// byte-identical to pre-codec responses.
+type agg struct {
+	payload []byte
+	codec   uint8
+	orig    uint32
+}
+
 // pullWaiter is a parked pull continuation. fulfill is called exactly
 // once, outside any shard lock, with the completed aggregate; a nil
 // payload means the server closed.
 type pullWaiter interface {
-	fulfill(payload []byte)
+	fulfill(a agg)
 }
 
 // chanWaiter delivers the aggregate to a goroutine blocked on a channel —
 // the blocking serve path and the in-package benchmarks.
 type chanWaiter struct {
 	s  *Server
-	ch chan []byte
+	ch chan agg
 }
 
-func (w chanWaiter) fulfill(p []byte) {
+func (w chanWaiter) fulfill(a agg) {
 	w.s.inst.parkedPulls.Dec()
-	w.ch <- p
+	w.ch <- a
 }
 
 // connWaiter resumes a connection parked on a singleton pull: it writes
@@ -232,16 +251,16 @@ type connWaiter struct {
 	req message
 }
 
-func (w connWaiter) fulfill(p []byte) {
+func (w connWaiter) fulfill(a agg) {
 	s := w.sc.s
 	s.inst.parkedPulls.Dec()
-	if p == nil {
+	if a.payload == nil {
 		// Server closing: answer the error; Close is about to close the
 		// connection, so it is not handed back to the pool.
 		w.sc.write(s.rejectMsg(w.req, errServerClosed)) //nolint:errcheck // best-effort during Close
 		return
 	}
-	if err := w.sc.write(pullResp(w.req, p)); err != nil {
+	if err := w.sc.write(pullResp(w.req, a)); err != nil {
 		return
 	}
 	s.countPullServed(w.req)
@@ -268,13 +287,13 @@ type batchSubWaiter struct {
 	idx int
 }
 
-func (w batchSubWaiter) fulfill(p []byte) {
+func (w batchSubWaiter) fulfill(a agg) {
 	s := w.bp.sc.s
 	s.inst.parkedPulls.Dec()
-	if p == nil {
+	if a.payload == nil {
 		w.bp.resps[w.idx] = s.rejectMsg(w.bp.subs[w.idx], errServerClosed)
 	} else {
-		w.bp.resps[w.idx] = pullResp(w.bp.subs[w.idx], p)
+		w.bp.resps[w.idx] = pullResp(w.bp.subs[w.idx], a)
 	}
 	if w.bp.remaining.Add(-1) == 0 {
 		if w.bp.writeAndCount() == nil {
@@ -789,7 +808,7 @@ func (s *Server) handleConn(sc *srvConn) connAction {
 		}
 		return connOK
 	case OpPull:
-		payload, errResp, parked := s.resolvePull(req, func() pullWaiter {
+		result, errResp, parked := s.resolvePull(req, func() pullWaiter {
 			return connWaiter{sc: sc, req: req}
 		})
 		switch {
@@ -801,7 +820,7 @@ func (s *Server) handleConn(sc *srvConn) connAction {
 		case parked:
 			return connParked
 		default:
-			if sc.write(pullResp(req, payload)) != nil {
+			if sc.write(pullResp(req, result)) != nil {
 				return connClosed
 			}
 			s.countPullServed(req)
@@ -848,7 +867,7 @@ func (s *Server) handleBatchConn(sc *srvConn, req message) connAction {
 				w.fulfill(result)
 			}
 		case OpPull:
-			payload, errResp, parked := s.resolvePull(sub, func() pullWaiter {
+			result, errResp, parked := s.resolvePull(sub, func() pullWaiter {
 				bp.remaining.Add(1)
 				return batchSubWaiter{bp: bp, idx: i}
 			})
@@ -858,7 +877,7 @@ func (s *Server) handleBatchConn(sc *srvConn, req message) connAction {
 			case parked:
 				// resps[i] is set by the waiter when it fulfills.
 			default:
-				bp.resps[i] = pullResp(sub, payload)
+				bp.resps[i] = pullResp(sub, result)
 			}
 		default:
 			// Includes nested OpBatch: one level of coalescing only.
@@ -891,32 +910,59 @@ func pushAck(req message) message {
 	return message{Op: OpPush, Iter: req.Iter, Seq: req.Seq, Key: req.Key}
 }
 
-// pullResp frames an aggregated payload as a pull response.
-func pullResp(req message, payload []byte) message {
-	return message{Op: OpPull, Iter: req.Iter, Seq: req.Seq, Key: req.Key, Payload: payload}
+// pullResp frames a completed aggregate as a pull response, echoing the
+// codec envelope fields so the client can decode.
+func pullResp(req message, a agg) message {
+	return message{Op: OpPull, Codec: a.codec, Iter: req.Iter, Seq: req.Seq, Orig: a.orig, Key: req.Key, Payload: a.payload}
 }
 
 // processPush applies one push and returns its response (ack or OpErr)
 // plus any pull waiters to wake with the completed aggregate. Shared by
 // the pooled, blocking, and batch paths; the caller fulfills the waiters
 // (outside the shard lock) and writes the response.
-func (s *Server) processPush(req message) (resp message, wake []pullWaiter, result []byte) {
+func (s *Server) processPush(req message) (resp message, wake []pullWaiter, result agg) {
 	s.inst.pushes.Inc()
 	if len(req.Payload) == 0 {
 		// An empty push would freeze the entry's shape at length zero and
 		// poison every later well-formed push with a size mismatch.
-		return s.rejectMsg(req, "empty push payload"), nil, nil
+		return s.rejectMsg(req, "empty push payload"), nil, agg{}
 	}
-	if len(req.Payload)%4 != 0 {
+	// Decode codec-bearing payloads before taking the shard lock; the
+	// aggregate is always summed in fp32.
+	var vals []float32 // decoded view; nil on the identity fast path
+	var topk uint32
+	n := len(req.Payload) / 4
+	if req.Codec != 0 {
+		c, err := compress.CodecByID(compress.CodecID(req.Codec))
+		if err != nil {
+			return s.rejectMsg(req, err.Error()), nil, agg{}
+		}
+		if req.Orig == 0 || req.Orig%4 != 0 || req.Orig > maxMessage {
+			return s.rejectMsg(req, fmt.Sprintf("bad original length %d for codec push", req.Orig)), nil, agg{}
+		}
+		n = int(req.Orig / 4)
+		if compress.CodecID(req.Codec) == compress.CodecTopK {
+			if topk = binary.BigEndian.Uint32(req.Payload); topk == 0 {
+				return s.rejectMsg(req, "empty top-k push"), nil, agg{}
+			}
+		}
+		dp := decPool.Get().(*[]float32)
+		defer decPool.Put(dp)
+		vals, err = c.AppendDecode((*dp)[:0], req.Payload, n)
+		if err != nil {
+			return s.rejectMsg(req, "undecodable push: "+err.Error()), nil, agg{}
+		}
+		*dp = vals[:0]
+	} else if len(req.Payload)%4 != 0 {
 		// The frame itself was well-formed, so the stream stays in sync:
 		// reject the request but keep the connection.
-		return s.rejectMsg(req, "push payload not a float32 vector"), nil, nil
+		return s.rejectMsg(req, "push payload not a float32 vector"), nil, agg{}
 	}
 	sh := s.shard(req.Key)
 	sh.mu.Lock()
 	if s.closing.Load() {
 		sh.mu.Unlock()
-		return s.rejectMsg(req, errServerClosed), nil, nil
+		return s.rejectMsg(req, errServerClosed), nil, agg{}
 	}
 	if req.Seq != 0 && sh.dupPush(req.Seq) {
 		// Replayed push (client retried after a lost ack): acknowledge
@@ -925,7 +971,7 @@ func (s *Server) processPush(req message) (resp message, wake []pullWaiter, resu
 		// still recognized instead of corrupting a fresh aggregate.
 		sh.mu.Unlock()
 		s.inst.dedupHits.Inc()
-		return pushAck(req), nil, nil
+		return pushAck(req), nil, agg{}
 	}
 	k := entryKey{req.Key, req.Iter}
 	e, ok := sh.entries[k]
@@ -935,21 +981,35 @@ func (s *Server) processPush(req message) (resp message, wake []pullWaiter, resu
 		s.inst.entries.Add(1)
 	}
 	if e.sum == nil {
-		e.sum = make([]float32, len(req.Payload)/4)
+		e.sum = make([]float32, n)
+		e.codec = req.Codec
+		e.topk = topk
 	}
-	if len(e.sum)*4 != len(req.Payload) {
+	if len(e.sum) != n {
 		sh.mu.Unlock()
-		return s.rejectMsg(req, fmt.Sprintf("push size mismatch for %s", req.Key)), nil, nil
+		return s.rejectMsg(req, fmt.Sprintf("push size mismatch for %s", req.Key)), nil, agg{}
+	}
+	if e.codec != req.Codec {
+		// Mixed codecs on one (key, iter) would make the re-encoded
+		// aggregate wrong for at least one worker's decoder.
+		sh.mu.Unlock()
+		return s.rejectMsg(req, fmt.Sprintf("push codec mismatch for %s", req.Key)), nil, agg{}
 	}
 	if e.pushes >= s.workers {
 		// More pushes than workers for one (key, iter): a protocol misuse
 		// that would corrupt the aggregate other workers already pulled.
 		sh.mu.Unlock()
-		return s.rejectMsg(req, fmt.Sprintf("push overflow for %s (all %d workers already pushed)", req.Key, s.workers)), nil, nil
+		return s.rejectMsg(req, fmt.Sprintf("push overflow for %s (all %d workers already pushed)", req.Key, s.workers)), nil, agg{}
 	}
-	for i := range e.sum {
-		bits := binary.BigEndian.Uint32(req.Payload[i*4:])
-		e.sum[i] += math.Float32frombits(bits)
+	if vals != nil {
+		for i := range e.sum {
+			e.sum[i] += vals[i]
+		}
+	} else {
+		for i := range e.sum {
+			bits := binary.BigEndian.Uint32(req.Payload[i*4:])
+			e.sum[i] += math.Float32frombits(bits)
+		}
 	}
 	if req.Seq != 0 {
 		sh.recordPush(s, req.Seq)
@@ -958,40 +1018,69 @@ func (s *Server) processPush(req message) (resp message, wake []pullWaiter, resu
 	if e.pushes == s.workers {
 		wake = e.waiters
 		e.waiters = nil
-		e.encoded = encode(e.sum)
-		result = e.encoded
+		e.encoded = encodeEntry(e)
+		result = e.agg()
 	}
 	sh.mu.Unlock()
 	return pushAck(req), wake, result
+}
+
+// decPool recycles processPush's codec-decode scratch so codec-bearing
+// pushes stay allocation-free in steady state.
+var decPool = sync.Pool{New: func() any { return new([]float32) }}
+
+// encodeEntry serializes a completed aggregate under the entry's codec.
+func encodeEntry(e *entry) []byte {
+	id := compress.CodecID(e.codec)
+	if id == compress.CodecIdentity {
+		return encode(e.sum)
+	}
+	var c compress.Codec
+	if id == compress.CodecTopK {
+		// Re-sparsify to the same per-worker count the pushes carried.
+		c, _ = compress.TopKCodecCount(int(e.topk))
+	} else {
+		c, _ = compress.CodecByID(id) // id was validated at push time
+	}
+	return c.AppendEncode(make([]byte, 0, c.EncodedLen(len(e.sum))), e.sum)
+}
+
+// agg returns the entry's completed aggregate in wire form. Callers hold
+// the shard lock and aggregation must be complete (encoded != nil).
+func (e *entry) agg() agg {
+	if e.codec == 0 {
+		return agg{payload: e.encoded}
+	}
+	return agg{payload: e.encoded, codec: e.codec, orig: uint32(4 * len(e.sum))}
 }
 
 // resolvePull resolves one pull to exactly one of: a ready payload, an
 // error response, or a parked waiter. The waiter is built by mkWaiter and
 // registered under the shard lock; it is fulfilled outside it, by the
 // completing push (or by Close, with a nil payload).
-func (s *Server) resolvePull(req message, mkWaiter func() pullWaiter) (payload []byte, errResp *message, parked bool) {
+func (s *Server) resolvePull(req message, mkWaiter func() pullWaiter) (result agg, errResp *message, parked bool) {
 	s.inst.pulls.Inc()
 	sh := s.shard(req.Key)
 	sh.mu.Lock()
 	if s.closing.Load() {
 		sh.mu.Unlock()
 		m := s.rejectMsg(req, errServerClosed)
-		return nil, &m, false
+		return agg{}, &m, false
 	}
 	k := entryKey{req.Key, req.Iter}
 	if e, ok := sh.entries[k]; ok {
 		if e.pushes >= s.workers {
 			if e.encoded == nil {
-				e.encoded = encode(e.sum)
+				e.encoded = encodeEntry(e)
 			}
-			payload = e.encoded
+			result = e.agg()
 			sh.mu.Unlock()
-			return payload, nil, false
+			return result, nil, false
 		}
 		e.waiters = append(e.waiters, mkWaiter())
 		sh.mu.Unlock()
 		s.inst.parkedPulls.Inc()
-		return nil, nil, true
+		return agg{}, nil, true
 	}
 	// No live entry. A retried pull whose aggregate was already served and
 	// reclaimed (response lost on the wire) must not recreate an empty
@@ -1007,7 +1096,7 @@ func (s *Server) resolvePull(req message, mkWaiter func() pullWaiter) (payload [
 		sh.mu.Unlock()
 		s.inst.lostPulls.Inc()
 		m := s.rejectMsg(req, errAggregateReclaimed)
-		return nil, &m, false
+		return agg{}, &m, false
 	}
 	// Genuinely early pull (pulls may legitimately arrive before pushes):
 	// create the entry and wait for aggregation.
@@ -1017,22 +1106,23 @@ func (s *Server) resolvePull(req message, mkWaiter func() pullWaiter) (payload [
 	e.waiters = append(e.waiters, mkWaiter())
 	sh.mu.Unlock()
 	s.inst.parkedPulls.Inc()
-	return nil, nil, true
+	return agg{}, nil, true
 }
 
 // preparePull is the channel form of resolvePull, used by the blocking
-// serve path and in-package benchmarks: exactly one of payload, wait, or
-// errResp is set, and a nil receive on wait means the server closed.
-func (s *Server) preparePull(req message) (payload []byte, wait chan []byte, errResp *message) {
-	var ch chan []byte
-	payload, errResp, parked := s.resolvePull(req, func() pullWaiter {
-		ch = make(chan []byte, 1)
+// serve path and in-package benchmarks: exactly one of result, wait, or
+// errResp is set, and a nil-payload receive on wait means the server
+// closed.
+func (s *Server) preparePull(req message) (result agg, wait chan agg, errResp *message) {
+	var ch chan agg
+	result, errResp, parked := s.resolvePull(req, func() pullWaiter {
+		ch = make(chan agg, 1)
 		return chanWaiter{s: s, ch: ch}
 	})
 	if parked {
-		return nil, ch, nil
+		return agg{}, ch, nil
 	}
-	return payload, nil, errResp
+	return result, nil, errResp
 }
 
 // serveBlocking is the portable per-connection serve loop used when no
@@ -1057,7 +1147,7 @@ func (s *Server) serveBlocking(sc *srvConn) {
 				return
 			}
 		case OpPull:
-			payload, wait, errResp := s.preparePull(req)
+			result, wait, errResp := s.preparePull(req)
 			if errResp != nil {
 				if sc.write(*errResp) != nil {
 					return
@@ -1065,7 +1155,7 @@ func (s *Server) serveBlocking(sc *srvConn) {
 				continue
 			}
 			if wait != nil {
-				if payload = <-wait; payload == nil {
+				if result = <-wait; result.payload == nil {
 					// Woken by Close: fail the pull instead of hanging.
 					if sc.write(s.rejectMsg(req, errServerClosed)) != nil {
 						return
@@ -1073,7 +1163,7 @@ func (s *Server) serveBlocking(sc *srvConn) {
 					continue
 				}
 			}
-			if sc.write(pullResp(req, payload)) != nil {
+			if sc.write(pullResp(req, result)) != nil {
 				return
 			}
 			s.countPullServed(req)
@@ -1099,7 +1189,7 @@ func (s *Server) serveBatchBlocking(sc *srvConn, req message) bool {
 	s.inst.batches.Inc()
 	s.inst.batchedMsgs.Add(uint64(len(subs)))
 	resps := make([]message, len(subs))
-	waits := make([]chan []byte, len(subs))
+	waits := make([]chan agg, len(subs))
 	for i, sub := range subs {
 		switch sub.Op {
 		case OpPush:
@@ -1109,14 +1199,14 @@ func (s *Server) serveBatchBlocking(sc *srvConn, req message) bool {
 			}
 			resps[i] = resp
 		case OpPull:
-			payload, wait, errResp := s.preparePull(sub)
+			result, wait, errResp := s.preparePull(sub)
 			switch {
 			case errResp != nil:
 				resps[i] = *errResp
 			case wait != nil:
 				waits[i] = wait
 			default:
-				resps[i] = pullResp(sub, payload)
+				resps[i] = pullResp(sub, result)
 			}
 		default:
 			resps[i] = s.rejectMsg(sub, "unbatchable op")
@@ -1126,10 +1216,10 @@ func (s *Server) serveBatchBlocking(sc *srvConn, req message) bool {
 		if wait == nil {
 			continue
 		}
-		if payload := <-wait; payload == nil {
+		if result := <-wait; result.payload == nil {
 			resps[i] = s.rejectMsg(subs[i], errServerClosed)
 		} else {
-			resps[i] = pullResp(subs[i], payload)
+			resps[i] = pullResp(subs[i], result)
 		}
 	}
 	payload, err := encodeBatch(resps)
@@ -1190,7 +1280,7 @@ func (s *Server) countPullServed(req message) {
 	if e.served >= s.workers {
 		delete(sh.entries, k)
 		s.inst.entries.Add(-1)
-		sh.completed.add(k, e.encoded)
+		sh.completed.add(k, e.agg())
 	}
 }
 
@@ -1248,7 +1338,7 @@ func (s *Server) Close() error {
 		sh.mu.Unlock()
 	}
 	for _, w := range wake {
-		w.fulfill(nil)
+		w.fulfill(agg{})
 	}
 	// Unblock handlers stuck mid-frame and sweep idle connections.
 	for _, sc := range scs {

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"bytescheduler/internal/compress"
 	"bytescheduler/internal/core"
 	"bytescheduler/internal/metrics"
 	"bytescheduler/internal/netar"
@@ -96,6 +97,23 @@ type LiveConfig struct {
 	// PSPool overrides the PS server's handler-pool size
 	// (netps.DefaultPoolSize); ignored by the ring backend.
 	PSPool int
+	// FuseTheta, when > 0, buckets gradients smaller than this many bytes
+	// into fused CommTasks (core.Fuser): the small-tensor long tail then
+	// pays one per-message overhead per bucket instead of one each. Must
+	// be a multiple of 4. Incompatible with coordinated ring runs (ring +
+	// priority + credit), whose atomic-release protocol presumes one task
+	// per layer.
+	FuseTheta int64
+	// FuseDelay is the fusion bucket's flush deadline. Leave 0 (the
+	// default) in multi-worker runs: deadline flushes are wall-clock and
+	// can diverge bucket membership across workers, which deadlocks
+	// keyed transports. Buckets then flush on size and at the end of each
+	// backward pass.
+	FuseDelay time.Duration
+	// Codec compresses gradient payloads on the wire (fp16 / int8 /
+	// top-k); the zero value is the identity (raw fp32) codec. Lossy
+	// codecs relax the runner's aggregation verification accordingly.
+	Codec compress.Codec
 }
 
 // LiveFIFO is the unscheduled live baseline: whole tensors, transmitted
@@ -134,6 +152,15 @@ func (c LiveConfig) Validate() error {
 	if c.Iterations < c.Warmup+2 {
 		return fmt.Errorf("runner: iterations %d must exceed warmup %d by at least 2", c.Iterations, c.Warmup)
 	}
+	if c.FuseTheta < 0 || c.FuseTheta%4 != 0 {
+		return fmt.Errorf("runner: fuse threshold %d is not a non-negative multiple of 4", c.FuseTheta)
+	}
+	if c.FuseDelay < 0 {
+		return fmt.Errorf("runner: negative fuse delay %v", c.FuseDelay)
+	}
+	if c.FuseTheta > 0 && c.coordinated() {
+		return fmt.Errorf("runner: tensor fusion is incompatible with coordinated ring runs (priority + credit): the atomic-release protocol presumes one task per layer")
+	}
 	return nil
 }
 
@@ -166,8 +193,9 @@ type LiveResult struct {
 
 // liveComm launches one partition's gradient synchronization: in holds the
 // local gradient values for the partition, out receives the cross-worker
-// sum.
-type liveComm func(layer int, iter uint32, sub tensor.Sub, in, out []float32) error
+// sum. The caller derives key from the partition's tensor identity (plain
+// or fused) so every worker addresses the same aggregation slot.
+type liveComm func(key string, iter uint32, in, out []float32) error
 
 // liveTransport is one worker's transport endpoint.
 type liveTransport struct {
@@ -244,6 +272,9 @@ func buildRingTransports(cfg LiveConfig) ([]liveTransport, func(), error) {
 	}
 	for r := 0; r < cfg.Workers; r++ {
 		opts := []netar.Option{netar.WithSeed(cfg.Seed + int64(r))}
+		if !cfg.Codec.IsIdentity() {
+			opts = append(opts, netar.WithCodec(cfg.Codec))
+		}
 		if cfg.Metrics != nil {
 			opts = append(opts, netar.WithMetrics(cfg.Metrics))
 		}
@@ -271,8 +302,7 @@ func buildRingTransports(cfg LiveConfig) ([]liveTransport, func(), error) {
 	for r := 0; r < cfg.Workers; r++ {
 		peer := peers[r]
 		transports[r] = liveTransport{
-			comm: func(layer int, iter uint32, sub tensor.Sub, in, out []float32) error {
-				key := fmt.Sprintf("L%02d[%d/%d]", layer, sub.Index, sub.Count)
+			comm: func(key string, iter uint32, in, out []float32) error {
 				sum, err := peer.AllReduce(key, iter, in)
 				if err != nil {
 					return err
@@ -326,6 +356,9 @@ func buildPSTransports(cfg LiveConfig) ([]liveTransport, func(), error) {
 			netps.WithClientID(uint32(r + 1)),
 			netps.WithSeed(cfg.Seed + int64(r)),
 		}
+		if !cfg.Codec.IsIdentity() {
+			opts = append(opts, netps.WithCodec(cfg.Codec))
+		}
 		if cfg.Metrics != nil {
 			opts = append(opts, netps.WithMetrics(cfg.Metrics))
 		}
@@ -337,8 +370,7 @@ func buildPSTransports(cfg LiveConfig) ([]liveTransport, func(), error) {
 		batcher := netps.NewBatcher(client)
 		batchers[r] = batcher
 		transports[r] = liveTransport{
-			comm: func(layer int, iter uint32, sub tensor.Sub, in, out []float32) error {
-				key := fmt.Sprintf("L%02d[%d/%d]", layer, sub.Index, sub.Count)
+			comm: func(key string, iter uint32, in, out []float32) error {
 				pushed := make(chan error, 1)
 				batcher.Push(key, iter, in, func(err error) { pushed <- err })
 				if err := <-pushed; err != nil {
@@ -360,9 +392,66 @@ func buildPSTransports(cfg LiveConfig) ([]liveTransport, func(), error) {
 	return transports, teardown, nil
 }
 
+// liveGrad is the metadata one live gradient task carries through fusion
+// (core.Task.Meta): the buffers a fused transmit gathers from and
+// scatters back into.
+type liveGrad struct {
+	iter uint32
+	grad []float32
+	out  []float32
+}
+
+// fusedComm builds the core.FuseStartFn for one worker: it gathers the
+// member gradient slices covered by a fused partition into one contiguous
+// vector, synchronizes it under the fused content-derived key (identical
+// on every worker that bucketed the same members), and scatters the sum
+// back into each member's output buffer.
+func fusedComm(comm liveComm) core.FuseStartFn {
+	return func(fd *core.Fused, sub tensor.Sub, doneFn func(error)) {
+		members, offsets := fd.Members(), fd.Offsets()
+		lo, hi := sub.Offset, sub.Offset+sub.Bytes
+		in := make([]float32, sub.Bytes/4)
+		out := make([]float32, sub.Bytes/4)
+		iter := members[0].Meta.(*liveGrad).iter
+		overlap := func(i int) (s, e int64) {
+			s, e = offsets[i], offsets[i]+members[i].Tensor.Bytes
+			if s < lo {
+				s = lo
+			}
+			if e > hi {
+				e = hi
+			}
+			return s, e
+		}
+		for i, m := range members {
+			s, e := overlap(i)
+			if s >= e {
+				continue
+			}
+			g := m.Meta.(*liveGrad)
+			copy(in[(s-lo)/4:(e-lo)/4], g.grad[(s-offsets[i])/4:(e-offsets[i])/4])
+		}
+		key := fmt.Sprintf("%s[%d/%d]", fd.Tensor.Name, sub.Index, sub.Count)
+		if err := comm(key, iter, in, out); err != nil {
+			doneFn(err)
+			return
+		}
+		for i, m := range members {
+			s, e := overlap(i)
+			if s >= e {
+				continue
+			}
+			g := m.Meta.(*liveGrad)
+			copy(g.out[(s-offsets[i])/4:(e-offsets[i])/4], out[(s-lo)/4:(e-lo)/4])
+		}
+		doneFn(nil)
+	}
+}
+
 // liveWorker runs one worker's training loop: forward gated on the
 // previous iteration's per-layer synchronization, backward emitting
-// gradient CommTasks back-to-front into the worker's scheduler.
+// gradient CommTasks back-to-front into the worker's scheduler (through a
+// fusion buffer when FuseTheta is set).
 func liveWorker(cfg LiveConfig, rank int, tr liveTransport, starts []time.Time) (core.Stats, error) {
 	layers := len(cfg.LayerBytes)
 	sched := core.NewAsync(cfg.Policy)
@@ -373,6 +462,15 @@ func liveWorker(cfg LiveConfig, rank int, tr liveTransport, starts []time.Time) 
 	if tr.attach != nil {
 		tr.attach(sched)
 	}
+	fuser, err := core.NewFuser(core.FuserConfig{
+		Theta:      cfg.FuseTheta,
+		FlushDelay: cfg.FuseDelay,
+		Start:      fusedComm(tr.comm),
+	}, sched)
+	if err != nil {
+		return core.Stats{}, err
+	}
+	defer fuser.Close()
 
 	grads := make([][]float32, layers)
 	outs := make([][]float32, layers)
@@ -432,18 +530,24 @@ func liveWorker(cfg LiveConfig, rank int, tr liveTransport, starts []time.Time) 
 				StartErr: func(sub tensor.Sub, doneFn func(error)) {
 					lo := sub.Offset / 4
 					hi := lo + sub.Bytes/4
-					doneFn(tr.comm(l, iter, sub, grad[lo:hi], out[lo:hi]))
+					key := fmt.Sprintf("L%02d[%d/%d]", l, sub.Index, sub.Count)
+					doneFn(tr.comm(key, iter, grad[lo:hi], out[lo:hi]))
 				},
+				Meta: &liveGrad{iter: iter, grad: grad, out: out},
 			}
 			t.OnFinished = func() { done[l] <- t.Err() }
-			if err := sched.Enqueue(t); err != nil {
-				return sched.Stats(), err
-			}
-			batch[l] = t
-			if !coordinated {
-				if err := sched.NotifyReady(t); err != nil {
+			if coordinated {
+				if err := sched.Enqueue(t); err != nil {
 					return sched.Stats(), err
 				}
+				batch[l] = t
+				continue
+			}
+			// The Fuser is the submission point: it forwards tensors >=
+			// Theta untouched and buckets smaller ones; with fusion
+			// disabled it degenerates to Enqueue+NotifyReady.
+			if err := fuser.Add(t); err != nil {
+				return sched.Stats(), err
 			}
 		}
 		if coordinated {
@@ -452,6 +556,10 @@ func liveWorker(cfg LiveConfig, rank int, tr liveTransport, starts []time.Time) 
 					return sched.Stats(), err
 				}
 			}
+		} else if err := fuser.Flush(); err != nil {
+			// Pass-boundary flush: the tail bucket goes out now, at the
+			// same deterministic point on every worker.
+			return sched.Stats(), err
 		}
 	}
 	// Drain the final iteration's synchronization.
@@ -461,10 +569,31 @@ func liveWorker(cfg LiveConfig, rank int, tr liveTransport, starts []time.Time) 
 		}
 	}
 	// Verify the last iteration's sums: every element must be the
-	// cross-worker total of the constant per-rank gradients.
+	// cross-worker total of the constant per-rank gradients. Constant
+	// vectors make fp16 and int8 exact (small integers are representable
+	// in half precision; a constant vector quantizes to q=127 at scale
+	// maxAbs/127), so only top-k relaxes the check: it drops elements by
+	// design, and all contributions are positive, so surviving values lie
+	// in [0, want].
+	if cfg.Metrics != nil && rank == 0 {
+		fs := fuser.Stats()
+		cfg.Metrics.Counter("core_fused_tasks_total").Add(fs.FusedTasks)
+		cfg.Metrics.Counter("core_fused_members_total").Add(fs.FusedMembers)
+		cfg.Metrics.Counter("core_fusion_passthrough_total").Add(fs.Passthrough)
+		cfg.Metrics.Counter("core_fusion_size_flushes_total").Add(fs.SizeFlushes)
+		cfg.Metrics.Counter("core_fusion_deadline_flushes_total").Add(fs.DeadlineFlushes)
+		cfg.Metrics.Counter("core_fusion_explicit_flushes_total").Add(fs.ExplicitFlushes)
+	}
 	want := float32(cfg.Workers * (cfg.Workers + 1) / 2)
+	topk := cfg.Codec.ID() == compress.CodecTopK
 	for l := range outs {
 		for i, v := range outs[l] {
+			if topk {
+				if v < 0 || v > want {
+					return sched.Stats(), fmt.Errorf("layer %d[%d] = %v outside [0, %v] under top-k (aggregation corrupted)", l, i, v, want)
+				}
+				continue
+			}
 			if v != want {
 				return sched.Stats(), fmt.Errorf("layer %d[%d] = %v, want %v (aggregation corrupted)", l, i, v, want)
 			}

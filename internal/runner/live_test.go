@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"bytescheduler/internal/compress"
 	"bytescheduler/internal/core"
 	"bytescheduler/internal/metrics"
 )
@@ -95,6 +96,94 @@ func TestRunLiveRingFIFO(t *testing.T) {
 	}
 }
 
+// TestRunLivePSFused runs a small-tensor long tail through the fusion
+// buffer on the PS backend: buckets must form identically on every worker
+// (content-derived keys aggregate correctly) and unfuse into exact
+// per-layer sums.
+func TestRunLivePSFused(t *testing.T) {
+	reg := metrics.NewRegistry()
+	cfg := liveBase(LiveBackendPS)
+	cfg.Workers = 2
+	cfg.Metrics = reg
+	// A long tail of sub-theta layers plus two large passthrough layers.
+	cfg.LayerBytes = []int64{32 << 10, 256, 128, 256, 128, 24 << 10, 512, 256}
+	cfg.FuseTheta = 4 << 10
+	res, err := RunLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IterTime <= 0 {
+		t.Fatalf("IterTime = %v, want > 0", res.IterTime)
+	}
+	// Fusion collapses the six small layers into at most two tasks per
+	// pass, so the fused run must finish strictly fewer subs than the same
+	// config unfused.
+	unfused := cfg
+	unfused.FuseTheta = 0
+	base, err := RunLive(unfused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SubsFinished >= base.Stats.SubsFinished {
+		t.Fatalf("SubsFinished = %d with fusion, want < %d unfused (buckets did not form)",
+			res.Stats.SubsFinished, base.Stats.SubsFinished)
+	}
+	if got := reg.Counter("core_fused_tasks_total").Value(); got == 0 {
+		t.Fatal("core_fused_tasks_total = 0: fusion counters not published")
+	}
+	if got := reg.Counter("core_fused_members_total").Value(); got == 0 {
+		t.Fatal("core_fused_members_total = 0: fusion counters not published")
+	}
+}
+
+// TestRunLiveRingFused exercises the same fusion path over the ring
+// all-reduce (uncoordinated FIFO policy: fusion + coordinated release is
+// rejected by Validate).
+func TestRunLiveRingFused(t *testing.T) {
+	cfg := liveBase(LiveBackendRing)
+	cfg.Policy = LiveFIFO()
+	cfg.LayerBytes = []int64{16 << 10, 256, 128, 256, 8 << 10, 512}
+	cfg.FuseTheta = 4 << 10
+	if _, err := RunLive(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunLiveCodecs drives every wire codec end to end on both backends.
+// Constant per-rank gradients make fp16 and int8 bit-exact, so the full
+// aggregation check still applies; top-k verifies the relaxed invariant.
+func TestRunLiveCodecs(t *testing.T) {
+	topk, err := compress.TopKCodec(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range []LiveBackend{LiveBackendPS, LiveBackendRing} {
+		for _, cd := range []compress.Codec{compress.FP16Codec(), compress.Int8Codec(), topk} {
+			cfg := liveBase(backend)
+			cfg.Workers = 2
+			cfg.Iterations = 3
+			cfg.Codec = cd
+			if _, err := RunLive(cfg); err != nil {
+				t.Fatalf("%s/%s: %v", backend, cd.Name(), err)
+			}
+		}
+	}
+}
+
+// TestRunLivePSFusedCodec stacks both tentpole features: fused buckets
+// travelling compressed.
+func TestRunLivePSFusedCodec(t *testing.T) {
+	cfg := liveBase(LiveBackendPS)
+	cfg.Workers = 2
+	cfg.Iterations = 3
+	cfg.LayerBytes = []int64{16 << 10, 256, 128, 256, 128, 8 << 10}
+	cfg.FuseTheta = 4 << 10
+	cfg.Codec = compress.FP16Codec()
+	if _, err := RunLive(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunLiveValidation(t *testing.T) {
 	good := liveBase(LiveBackendRing)
 	for _, tc := range []struct {
@@ -108,6 +197,9 @@ func TestRunLiveValidation(t *testing.T) {
 		{"ragged partition", func(c *LiveConfig) { c.Policy.PartitionUnit = 6 }},
 		{"too few iterations", func(c *LiveConfig) { c.Iterations = c.Warmup + 1 }},
 		{"bad backend", func(c *LiveConfig) { c.Backend = LiveBackend(99) }},
+		{"ragged fuse theta", func(c *LiveConfig) { c.FuseTheta = 6 }},
+		{"negative fuse delay", func(c *LiveConfig) { c.FuseDelay = -time.Second }},
+		{"fusion on coordinated ring", func(c *LiveConfig) { c.FuseTheta = 4 << 10 }},
 	} {
 		cfg := good
 		tc.mut(&cfg)

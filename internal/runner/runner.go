@@ -242,7 +242,11 @@ func build(cfg Config, engCfg engine.Config) (*instance, error) {
 		// The substrates (and the engine's per-layer byte accounting)
 		// see compressed sizes; the codec latency rides the
 		// gradient-ready path alongside local aggregation.
-		cfg.Model = cfg.Compression.Apply(cfg.Model)
+		compressed, err := cfg.Compression.Apply(cfg.Model)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Model = compressed
 		engCfg.Model = cfg.Model
 		engCfg.LocalAggSecPerByte += cfg.Compression.CodecSecPerByte()
 	}
