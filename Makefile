@@ -37,10 +37,13 @@ fuzz:
 	$(GO) test ./internal/netar -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME)
 
 # docs validates the documentation set: vet keeps the package docs
-# compiling with the code they describe, and checklinks fails on any
-# relative markdown link whose target moved or was deleted.
+# compiling with the code they describe, checklinks fails on any relative
+# markdown link or heading anchor whose target moved or was renamed, and
+# checkdocs requires a doc comment on every exported symbol of the
+# operator-facing packages.
 docs: vet
 	sh scripts/checklinks.sh
+	sh scripts/checkdocs.sh
 
 # verify is the CI gate: everything must build, pass vet + staticcheck,
 # pass the full test suite with the race detector on (./... includes the

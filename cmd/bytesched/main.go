@@ -13,6 +13,7 @@
 //	bytesched -model VGG16 -http :8080   # then: curl localhost:8080/metrics
 //	bytesched -backend ring -live-workers 3   # live ring all-reduce over TCP
 //	bytesched -backend ps -policy fifo        # live parameter server, unscheduled
+//	bytesched -backend ps -autotune           # online (partition, credit) tuning, no restarts
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"bytescheduler/internal/autotune"
 	"bytescheduler/internal/compress"
 	"bytescheduler/internal/core"
 	"bytescheduler/internal/metrics"
@@ -78,6 +80,13 @@ type options struct {
 	FuseTheta int64
 	// Codec names the live wire codec (compress.ParseCodec spellings).
 	Codec string
+	// AutoTune closes the online tuning loop on the live run: the
+	// controller re-tunes (partition, credit) mid-run, no restarts.
+	AutoTune bool
+	// AutoTuneTrials / AutoTuneDwell / AutoTuneSuggester configure the
+	// controller's search budget, hysteresis window, and algorithm.
+	AutoTuneTrials, AutoTuneDwell int
+	AutoTuneSuggester             string
 	// serveStarted, when non-nil, is invoked with the bound address instead
 	// of blocking in http.Serve — a hook for tests.
 	serveStarted func(addr string)
@@ -120,6 +129,14 @@ func main() {
 		"live fusion threshold in bytes: smaller tensors ride one fused message (0 disables; with -backend)")
 	flag.StringVar(&o.Codec, "codec", "",
 		"live wire codec: none, fp16, int8, topk:<keep> (with -backend)")
+	flag.BoolVar(&o.AutoTune, "autotune", false,
+		"tune (partition, credit) online during the live run, starting from -partition/-credit (with -backend)")
+	flag.IntVar(&o.AutoTuneTrials, "autotune-trials", 0,
+		"online tuning probes per search episode (0 = controller default)")
+	flag.IntVar(&o.AutoTuneDwell, "autotune-dwell", 0,
+		"iterations each probed config is measured for (0 = controller default)")
+	flag.StringVar(&o.AutoTuneSuggester, "autotune-suggester", "bo",
+		"online tuning search algorithm: bo, grid, random")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bytesched:", err)
@@ -352,6 +369,28 @@ func runLive(o options) error {
 		FuseTheta:       o.FuseTheta,
 		Codec:           codec,
 	}
+	if o.AutoTune {
+		cfg.AutoTune = &autotune.Config{
+			Suggester:  o.AutoTuneSuggester,
+			Seed:       o.Seed,
+			DwellIters: o.AutoTuneDwell,
+			Trials:     o.AutoTuneTrials,
+		}
+		// Stretch the run so one full search episode fits: each probe
+		// costs one transition iteration plus a dwell window, and a few
+		// steady windows confirm the adopted config.
+		trials, dwell := o.AutoTuneTrials, o.AutoTuneDwell
+		if trials <= 0 {
+			trials = 8
+		}
+		if dwell <= 0 {
+			dwell = 3
+		}
+		if min := warmup + (trials+2)*(dwell+1) + 3*dwell; iters < min {
+			iters = min
+			cfg.Iterations = iters
+		}
+	}
 	var rec *trace.Recorder
 	if o.ChromeOut != "" {
 		rec = trace.New()
@@ -371,6 +410,7 @@ func runLive(o options) error {
 	baseCfg.Policy = runner.LiveFIFO()
 	baseCfg.Trace = nil
 	baseCfg.Metrics = nil
+	baseCfg.AutoTune = nil // the unscheduled baseline has no knobs to tune
 	base, err := runner.RunLive(baseCfg)
 	if err != nil {
 		return err
@@ -390,6 +430,12 @@ func runLive(o options) error {
 	fmt.Printf("  speedup:   %+9.1f%% over unscheduled\n", (base.IterTime-res.IterTime)/res.IterTime*100)
 	fmt.Printf("  scheduler: %d partitions sent, %d preemptions\n",
 		res.Stats.SubsStarted, res.Stats.Preemptions)
+	if rep := res.AutoTune; rep != nil {
+		fmt.Printf("  autotune:  %d probes, %d retune(s), %d rollback(s) across %d episode(s) (%s suggester)\n",
+			rep.Probes, rep.Retunes, rep.Rollbacks, rep.Episodes, o.AutoTuneSuggester)
+		fmt.Printf("             best %v at %.1f it/s, final %v, settled=%v\n",
+			rep.Best, rep.BestSpeed, rep.Final, rep.Settled)
+	}
 
 	if o.ChromeOut != "" {
 		f, err := os.Create(o.ChromeOut)

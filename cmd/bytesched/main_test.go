@@ -161,3 +161,29 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+func TestRunLiveAutoTune(t *testing.T) {
+	o := defaults()
+	o.Backend = "ps"
+	o.LiveWorkers = 2
+	o.LiveLayers = "32,16,8"
+	o.LiveCompute = 100 * time.Microsecond
+	o.Iters = 6
+	o.Warmup = 1
+	o.AutoTune = true
+	o.AutoTuneTrials = 2
+	o.AutoTuneDwell = 2
+	o.AutoTuneSuggester = "random"
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	o.AutoTuneSuggester = "annealing"
+	if err := run(o); err == nil {
+		t.Fatal("unknown suggester accepted")
+	}
+	o.AutoTuneSuggester = "bo"
+	o.Policy = "fifo"
+	if err := run(o); err == nil {
+		t.Fatal("autotune over an unscheduled policy accepted")
+	}
+}

@@ -135,6 +135,33 @@ func (a *AsyncScheduler) SetFlushHook(fn func()) {
 	a.s.SetFlushHook(fn)
 }
 
+// SetParams atomically changes the (partition unit, credit window) pair
+// live — the safe reconfiguration path the online auto-tuner drives. Both
+// knobs switch under one lock acquisition, so no concurrent Enqueue can
+// observe a half-applied config. The swap drains at pass boundaries by
+// construction: tasks already enqueued keep the partitioning they were
+// admitted under (Scheduler.SetPartitionUnit only affects future
+// enqueues), and in-flight bytes keep their credit reservations
+// (Scheduler.SetCredit applies the delta). Values must be non-negative;
+// creditBytes 0 means unlimited. Misuse that panics on the synchronous
+// Scheduler is returned as an error here, like Enqueue.
+func (a *AsyncScheduler) SetParams(partitionUnit, creditBytes int64) error {
+	if partitionUnit < 0 {
+		return fmt.Errorf("core: negative partition unit %d", partitionUnit)
+	}
+	if creditBytes < 0 {
+		return fmt.Errorf("core: negative credit %d", creditBytes)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.down {
+		return ErrShutdown
+	}
+	a.s.SetPartitionUnit(partitionUnit)
+	a.s.SetCredit(creditBytes)
+	return nil
+}
+
 // Stats snapshots the underlying counters. The counters are atomics, so no
 // lock is needed: scrapers can read mid-run without contending with the
 // scheduler.

@@ -142,3 +142,48 @@ func TestAsyncNilTask(t *testing.T) {
 		t.Fatal("task without Start accepted")
 	}
 }
+
+func TestAsyncSetParams(t *testing.T) {
+	// New partitioning applies only to tasks enqueued after the swap; the
+	// credit delta keeps in-flight reservations intact.
+	a := NewAsync(ByteScheduler(100, 1000))
+	countSubs := func(bytes int64) int {
+		var subs atomic.Int64
+		fin := make(chan struct{})
+		task := &Task{
+			Tensor: tensor.Tensor{Layer: 0, Name: "w", Bytes: bytes},
+			Start: func(sub tensor.Sub, done func()) {
+				subs.Add(1)
+				done()
+			},
+		}
+		task.OnFinished = func() { close(fin) }
+		if err := a.Enqueue(task); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.NotifyReady(task); err != nil {
+			t.Fatal(err)
+		}
+		<-fin
+		return int(subs.Load())
+	}
+	if got := countSubs(300); got != 3 {
+		t.Fatalf("before SetParams: %d subs, want 3", got)
+	}
+	if err := a.SetParams(150, 600); err != nil {
+		t.Fatal(err)
+	}
+	if got := countSubs(300); got != 2 {
+		t.Fatalf("after SetParams: %d subs, want 2", got)
+	}
+	if err := a.SetParams(-1, 10); err == nil {
+		t.Error("negative partition accepted")
+	}
+	if err := a.SetParams(100, -1); err == nil {
+		t.Error("negative credit accepted")
+	}
+	a.Shutdown()
+	if err := a.SetParams(100, 100); err != ErrShutdown {
+		t.Errorf("SetParams after shutdown = %v, want ErrShutdown", err)
+	}
+}

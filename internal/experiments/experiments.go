@@ -168,6 +168,7 @@ func All() []Experiment {
 		{"EXT-FAULTS", ExtFaultTolerance, "fault injection: drops, outage, latency spikes (robustness)"},
 		{"EXT-RING", ExtLiveRing, "live ring all-reduce over TCP: scheduled vs FIFO (netar)"},
 		{"EXT-FUSION", ExtTensorFusion, "tensor fusion + wire codecs on live PS: fused vs unfused (netps)"},
+		{"EXT-AUTOTUNE", ExtAutoTune, "closed-loop online (partition, credit) tuning on live PS across a bandwidth change"},
 		{"EXT-BALANCE", ExtLoadBalance, "PS placement strategies on power-law tensors (load balance)"},
 		{"THM1", ThmOptimality, "Theorem 1 optimality and the §4.1 overhead bound"},
 	}
@@ -176,7 +177,7 @@ func All() []Experiment {
 // liveIDs marks experiments that execute on the real network stack
 // (wall-clock timings over loopback TCP) rather than the deterministic
 // simulator.
-var liveIDs = map[string]bool{"EXT-RING": true, "EXT-FUSION": true}
+var liveIDs = map[string]bool{"EXT-RING": true, "EXT-FUSION": true, "EXT-AUTOTUNE": true}
 
 // Live reports whether the experiment measures the live network stack.
 // Live metrics are measurements, not derivations: reruns produce

@@ -1,0 +1,10 @@
+//go:build !race
+
+package experiments
+
+// raceDetector reports whether this test binary was built with -race.
+// Wall-clock shape gates that compare live speeds against injected link
+// changes are skipped under the detector: instrumentation slows compute
+// by an order of magnitude, shrinking the injected change's *relative*
+// effect below the thresholds the gates assert on.
+const raceDetector = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceDetector reports whether this test binary was built with -race.
+// See race_norace_test.go.
+const raceDetector = true

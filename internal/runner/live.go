@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"bytescheduler/internal/autotune"
 	"bytescheduler/internal/compress"
 	"bytescheduler/internal/core"
 	"bytescheduler/internal/metrics"
@@ -114,6 +115,19 @@ type LiveConfig struct {
 	// top-k); the zero value is the identity (raw fp32) codec. Lossy
 	// codecs relax the runner's aggregation verification accordingly.
 	Codec compress.Codec
+	// AutoTune, when non-nil, closes the online tuning loop: every worker
+	// pins its per-iteration (partition, credit) from one shared
+	// autotune.Controller and applies it at the pass boundary through
+	// core.AsyncScheduler.SetParams, and worker 0 feeds measured iteration
+	// durations back. Requires a scheduled starting policy (positive
+	// PartitionUnit and CreditBytes) — Policy supplies the controller's
+	// starting point.
+	AutoTune *autotune.Config
+	// Shape, when non-empty, inserts a shaped serial link (per-message
+	// overhead, byte rate, fault model) in front of every worker's
+	// transport, with phase switches at iteration boundaries — the
+	// injected bandwidth changes EXT-AUTOTUNE re-converges across.
+	Shape []LinkShape
 }
 
 // LiveFIFO is the unscheduled live baseline: whole tensors, transmitted
@@ -161,6 +175,15 @@ func (c LiveConfig) Validate() error {
 	if c.FuseTheta > 0 && c.coordinated() {
 		return fmt.Errorf("runner: tensor fusion is incompatible with coordinated ring runs (priority + credit): the atomic-release protocol presumes one task per layer")
 	}
+	if c.AutoTune != nil && (c.Policy.PartitionUnit <= 0 || c.Policy.CreditBytes <= 0) {
+		return fmt.Errorf("runner: auto-tuning needs a scheduled starting policy (positive partition unit and credit), got unit %d credit %d", c.Policy.PartitionUnit, c.Policy.CreditBytes)
+	}
+	if c.AutoTune != nil && c.FuseTheta > 0 {
+		return fmt.Errorf("runner: auto-tuning is incompatible with tensor fusion: fused transfers hold credit through the blocking pull, and a probed credit window smaller than two fused buckets can cross-deadlock workers")
+	}
+	if err := validateShape(c.Shape); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -189,13 +212,29 @@ type LiveResult struct {
 	IterTimes []float64
 	// Stats aggregates the scheduler counters across workers.
 	Stats core.Stats
+	// AutoTune is the controller's decision log and summary; nil unless
+	// the run was configured with LiveConfig.AutoTune.
+	AutoTune *autotune.Report
 }
 
 // liveComm launches one partition's gradient synchronization: in holds the
 // local gradient values for the partition, out receives the cross-worker
 // sum. The caller derives key from the partition's tensor identity (plain
 // or fused) so every worker addresses the same aggregation slot.
-type liveComm func(key string, iter uint32, in, out []float32) error
+//
+// sent splits the operation's two phases when the transport supports it:
+// the PS transport invokes sent() once the local push is acknowledged —
+// before the pull, which blocks until every worker pushed — so the caller
+// can return scheduler credit for the send while the cross-worker wait
+// proceeds without holding the window. Credit then gates the
+// bandwidth-consuming direction only. This matters: if blocking pulls
+// held credit, two workers whose windows filled with *different* layer
+// subsets would each wait forever for pushes the other has no credit left
+// to admit — a cross-worker deadlock the auto-tuner hits as soon as it
+// probes a credit smaller than a pass's total bytes. Collective
+// transports (the ring) never call sent: the whole op is the send, and
+// coordinated release already guarantees identical admission order.
+type liveComm func(key string, iter uint32, in, out []float32, sent func()) error
 
 // liveTransport is one worker's transport endpoint.
 type liveTransport struct {
@@ -216,6 +255,26 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 		return LiveResult{}, err
 	}
 	defer teardown()
+	for r := range transports {
+		if len(cfg.Shape) > 0 {
+			shaper := newLinkShaper(cfg.Shape, cfg.Seed+int64(r)*101+1, cfg.Metrics)
+			transports[r].comm = shaper.wrap(transports[r].comm)
+		}
+	}
+	var ctrl *autotune.Controller
+	if cfg.AutoTune != nil {
+		ac := *cfg.AutoTune
+		if ac.Metrics == nil {
+			ac.Metrics = cfg.Metrics
+		}
+		if ac.Trace == nil {
+			ac.Trace = cfg.Trace
+		}
+		start := autotune.Setting{Partition: cfg.Policy.PartitionUnit, Credit: cfg.Policy.CreditBytes}
+		if ctrl, err = autotune.New(start, ac); err != nil {
+			return LiveResult{}, err
+		}
+	}
 
 	starts := make([]time.Time, cfg.Iterations)
 	errs := make([]error, cfg.Workers)
@@ -226,7 +285,7 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			stats[r], errs[r] = liveWorker(cfg, r, transports[r], starts)
+			stats[r], errs[r] = liveWorker(cfg, r, transports[r], ctrl, starts)
 		}()
 	}
 	wg.Wait()
@@ -246,6 +305,10 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 		res.IterTime += d
 	}
 	res.IterTime /= float64(len(res.IterTimes))
+	if ctrl != nil {
+		rep := ctrl.Report()
+		res.AutoTune = &rep
+	}
 	return res, nil
 }
 
@@ -302,7 +365,10 @@ func buildRingTransports(cfg LiveConfig) ([]liveTransport, func(), error) {
 	for r := 0; r < cfg.Workers; r++ {
 		peer := peers[r]
 		transports[r] = liveTransport{
-			comm: func(key string, iter uint32, in, out []float32) error {
+			// The collective is indivisible — no send/wait split, credit
+			// is held for the whole op (safe: coordinated release admits
+			// in one total order on every peer).
+			comm: func(key string, iter uint32, in, out []float32, _ func()) error {
 				sum, err := peer.AllReduce(key, iter, in)
 				if err != nil {
 					return err
@@ -370,12 +436,16 @@ func buildPSTransports(cfg LiveConfig) ([]liveTransport, func(), error) {
 		batcher := netps.NewBatcher(client)
 		batchers[r] = batcher
 		transports[r] = liveTransport{
-			comm: func(key string, iter uint32, in, out []float32) error {
+			comm: func(key string, iter uint32, in, out []float32, sent func()) error {
 				pushed := make(chan error, 1)
 				batcher.Push(key, iter, in, func(err error) { pushed <- err })
 				if err := <-pushed; err != nil {
 					return err
 				}
+				// The push is on the wire and acknowledged; the pull
+				// below blocks until every worker pushed. Hand the
+				// scheduler its credit back first (see liveComm).
+				sent()
 				sum, err := client.Pull(key, iter)
 				if err != nil {
 					return err
@@ -432,7 +502,11 @@ func fusedComm(comm liveComm) core.FuseStartFn {
 			copy(in[(s-lo)/4:(e-lo)/4], g.grad[(s-offsets[i])/4:(e-offsets[i])/4])
 		}
 		key := fmt.Sprintf("%s[%d/%d]", fd.Tensor.Name, sub.Index, sub.Count)
-		if err := comm(key, iter, in, out); err != nil {
+		// Fused transfers keep holding credit through the pull (no-op
+		// sent): the scatter below must finish before members complete,
+		// and Validate rejects the one configuration (auto-tuning) that
+		// could shrink the window enough for held pulls to deadlock.
+		if err := comm(key, iter, in, out, func() {}); err != nil {
 			doneFn(err)
 			return
 		}
@@ -451,8 +525,13 @@ func fusedComm(comm liveComm) core.FuseStartFn {
 // liveWorker runs one worker's training loop: forward gated on the
 // previous iteration's per-layer synchronization, backward emitting
 // gradient CommTasks back-to-front into the worker's scheduler (through a
-// fusion buffer when FuseTheta is set).
-func liveWorker(cfg LiveConfig, rank int, tr liveTransport, starts []time.Time) (core.Stats, error) {
+// fusion buffer when FuseTheta is set). With a controller, each backward
+// pass first pins and applies the iteration's (partition, credit): the
+// swap lands at the pass boundary, in-flight tasks from the previous pass
+// finish under the old config, and the controller's per-iteration pinning
+// keeps partition counts — which the transport keys embed — identical
+// across workers.
+func liveWorker(cfg LiveConfig, rank int, tr liveTransport, ctrl *autotune.Controller, starts []time.Time) (core.Stats, error) {
 	layers := len(cfg.LayerBytes)
 	sched := core.NewAsync(cfg.Policy)
 	defer sched.Shutdown()
@@ -488,6 +567,9 @@ func liveWorker(cfg LiveConfig, rank int, tr liveTransport, starts []time.Time) 
 	for it := 0; it < cfg.Iterations; it++ {
 		if rank == 0 {
 			starts[it] = time.Now()
+			if ctrl != nil && it > 0 {
+				ctrl.ObserveIteration(it-1, starts[it].Sub(starts[it-1]).Seconds())
+			}
 		}
 		// Forward: layer l needs layer l's synchronized gradient from the
 		// previous iteration before it can compute.
@@ -499,6 +581,15 @@ func liveWorker(cfg LiveConfig, rank int, tr liveTransport, starts []time.Time) 
 			}
 			if cfg.ForwardCompute > 0 {
 				time.Sleep(cfg.ForwardCompute)
+			}
+		}
+		// Pass-boundary reconfiguration: pin this iteration's config (all
+		// workers get the same pinned value) and apply it before any of
+		// this pass's tasks are enqueued.
+		if ctrl != nil {
+			s := ctrl.ConfigFor(it)
+			if err := sched.SetParams(s.Partition, s.Credit); err != nil {
+				return sched.Stats(), err
 			}
 		}
 		// Backward: gradients become ready back-to-front. Coordinated runs
@@ -525,17 +616,67 @@ func liveWorker(cfg LiveConfig, rank int, tr liveTransport, starts []time.Time) 
 				// tail is exactly where a lagging peer still is.
 				prio = it*layers + l
 			}
+			// Split-phase bookkeeping (PS path): when the transport calls
+			// sent(), the sub's credit is returned immediately (doneFn(nil))
+			// and the blocking pull proceeds uncredited; the forward gate
+			// then waits on the pulls via this per-task countdown instead
+			// of OnFinished. Transports that never call sent (ring, fused)
+			// keep the classic path: outcome via doneFn, gate via
+			// OnFinished.
+			var pullMu sync.Mutex
+			pullLeft := -1
+			var pullErr error
+			split := false
 			t := &core.Task{
 				Tensor: tensor.Tensor{Layer: prio, Name: "g", Bytes: cfg.LayerBytes[l]},
-				StartErr: func(sub tensor.Sub, doneFn func(error)) {
-					lo := sub.Offset / 4
-					hi := lo + sub.Bytes/4
-					key := fmt.Sprintf("L%02d[%d/%d]", l, sub.Index, sub.Count)
-					doneFn(tr.comm(key, iter, grad[lo:hi], out[lo:hi]))
-				},
-				Meta: &liveGrad{iter: iter, grad: grad, out: out},
+				Meta:   &liveGrad{iter: iter, grad: grad, out: out},
 			}
-			t.OnFinished = func() { done[l] <- t.Err() }
+			t.StartErr = func(sub tensor.Sub, doneFn func(error)) {
+				lo := sub.Offset / 4
+				hi := lo + sub.Bytes/4
+				key := fmt.Sprintf("L%02d[%d/%d]", l, sub.Index, sub.Count)
+				credited := false
+				err := tr.comm(key, iter, grad[lo:hi], out[lo:hi], func() {
+					pullMu.Lock()
+					split = true
+					pullMu.Unlock()
+					credited = true
+					doneFn(nil)
+				})
+				if !credited {
+					doneFn(err)
+					return
+				}
+				// Credit already went back at sent(); this sub's outcome is
+				// now a pull result. The last pull to land reports the
+				// task's combined outcome to the forward gate. A sub whose
+				// push fails permanently never reaches here, so the
+				// countdown never hits zero and OnFinished (with Err set)
+				// reports instead.
+				pullMu.Lock()
+				if pullLeft < 0 {
+					pullLeft = sub.Count
+				}
+				pullLeft--
+				if err != nil && pullErr == nil {
+					pullErr = err
+				}
+				last, res := pullLeft == 0, pullErr
+				pullMu.Unlock()
+				if last {
+					done[l] <- res
+				}
+			}
+			t.OnFinished = func() {
+				pullMu.Lock()
+				sp := split
+				pullMu.Unlock()
+				if err := t.Err(); err != nil {
+					done[l] <- err
+				} else if !sp {
+					done[l] <- nil
+				}
+			}
 			if coordinated {
 				if err := sched.Enqueue(t); err != nil {
 					return sched.Stats(), err

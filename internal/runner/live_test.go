@@ -62,6 +62,30 @@ func TestRunLivePS(t *testing.T) {
 	}
 }
 
+// TestRunLivePSBindingCredit pins the split-phase credit fix on the PS
+// path: a credit window of one partition (stop-and-wait) with streaming
+// back-to-front release lets the two workers admit different layer
+// subsets, and because a pull blocks until every worker pushed, holding
+// credit through the pull deadlocked them against each other. With the
+// send/wait split (credit returned at push-ack), even the tightest window
+// must complete.
+func TestRunLivePSBindingCredit(t *testing.T) {
+	cfg := liveBase(LiveBackendPS)
+	cfg.Workers = 2
+	cfg.LayerBytes = []int64{8 << 10, 8 << 10, 8 << 10, 8 << 10}
+	cfg.Policy = core.ByteScheduler(8<<10, 8<<10)
+	cfg.Iterations, cfg.Warmup = 25, 1
+	cfg.ForwardCompute = 50 * time.Microsecond
+	cfg.BackwardCompute = 50 * time.Microsecond
+	res, err := RunLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SubsFinished == 0 {
+		t.Fatal("no sub-tasks finished")
+	}
+}
+
 // TestRunLiveRingTightCredit pins the coordinated-release fix: priority
 // scheduling on the ring with a credit window equal to a single partition
 // (P3-style stop-and-wait) used to cross-peer deadlock when peers' admission

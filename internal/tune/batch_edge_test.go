@@ -1,0 +1,129 @@
+package tune
+
+// Edge cases the live autotune controller depends on: observation order
+// within a batch, duplicate proposals under the constant-liar heuristic,
+// and lie retraction.
+
+import (
+	"math"
+	"testing"
+)
+
+// reverse returns the batch pairs in reversed order.
+func reverse(xs [][]float64, ys []float64) ([][]float64, []float64) {
+	rx := make([][]float64, len(xs))
+	ry := make([]float64, len(ys))
+	for i := range xs {
+		rx[len(xs)-1-i] = xs[i]
+		ry[len(ys)-1-i] = ys[i]
+	}
+	return rx, ry
+}
+
+// TestObserveBatchOrderIndependence: a batch observed out of proposal
+// order — pairs kept intact — must leave every tuner with the true best
+// incumbent. The live controller's observations arrive from wall-clock
+// completion order, not proposal order.
+func TestObserveBatchOrderIndependence(t *testing.T) {
+	b := ParamBounds()
+	score := func(x []float64) float64 { return -math.Abs(x[0]-20) - math.Abs(x[1]-24) }
+	for _, tn := range []BatchTuner{
+		NewGridSearch(b, 3),
+		NewRandomSearch(b, 7),
+		NewBO(b, 7),
+	} {
+		xs := tn.NextBatch(4)
+		ys := make([]float64, len(xs))
+		wantBest := math.Inf(-1)
+		for i, x := range xs {
+			ys[i] = score(x)
+			if ys[i] > wantBest {
+				wantBest = ys[i]
+			}
+		}
+		rx, ry := reverse(xs, ys)
+		tn.ObserveBatch(rx, ry)
+		if got := tn.Best().Y; got != wantBest {
+			t.Errorf("%s: best after reversed ObserveBatch = %v, want %v", tn.Name(), got, wantBest)
+		}
+	}
+}
+
+// TestConstantLiarRetractsLies: after ObserveBatch the surrogate must hold
+// only real observations — the lies NextBatch appended are gone, and a
+// second batch proposes from clean state.
+func TestConstantLiarRetractsLies(t *testing.T) {
+	b := ParamBounds()
+	bo := NewBO(b, 3)
+	xs := bo.NextBatch(4)
+	if bo.lies != 4 {
+		t.Fatalf("lies after NextBatch(4) = %d, want 4", bo.lies)
+	}
+	ys := []float64{1, 2, 3, 4}
+	bo.ObserveBatch(xs, ys)
+	if bo.lies != 0 {
+		t.Errorf("lies after ObserveBatch = %d, want 0", bo.lies)
+	}
+	if len(bo.xs) != 4 || len(bo.ys) != 4 {
+		t.Errorf("surrogate holds %d/%d samples, want 4/4 (real only)", len(bo.xs), len(bo.ys))
+	}
+	for i, y := range bo.ys {
+		if y != ys[i] {
+			t.Errorf("surrogate y[%d] = %v, want %v (lie not replaced)", i, y, ys[i])
+		}
+	}
+}
+
+// TestConstantLiarDuplicateSuggestion: on a flat posterior the liar can
+// re-propose (numerically) identical points within one batch. The
+// controller must be able to observe each duplicate separately: both
+// pairs are recorded, and the incumbent is the max over all of them.
+func TestConstantLiarDuplicateSuggestion(t *testing.T) {
+	b := Bounds{Lo: []float64{0, 0}, Hi: []float64{1, 1}}
+	bo := NewBO(b, 5)
+	xs := bo.NextBatch(3)
+	// Force exact duplicates — the degenerate case a flat posterior can
+	// produce — and observe different values for them.
+	xs[1] = append([]float64(nil), xs[0]...)
+	bo.ObserveBatch(xs, []float64{0.3, 0.9, 0.1})
+	if len(bo.xs) != 3 {
+		t.Fatalf("surrogate holds %d samples, want 3 (duplicates kept)", len(bo.xs))
+	}
+	if got := bo.Best().Y; got != 0.9 {
+		t.Errorf("best = %v, want 0.9 (max over duplicate observations)", got)
+	}
+	// The next batch must still be proposable (GP fit survives the
+	// duplicated design point).
+	next := bo.NextBatch(2)
+	if len(next) != 2 {
+		t.Fatalf("NextBatch after duplicates returned %d proposals", len(next))
+	}
+	bo.ObserveBatch(next, []float64{0.2, 0.4})
+	if bo.lies != 0 {
+		t.Errorf("lies = %d after second round, want 0", bo.lies)
+	}
+}
+
+// TestConstantLiarSpreadsBatch: with a fitted surrogate, the liar should
+// not pile a whole batch onto one point — at least two distinct proposals
+// in a post-warmup batch.
+func TestConstantLiarSpreadsBatch(t *testing.T) {
+	b := ParamBounds()
+	bo := NewBO(b, 9)
+	// Feed enough real observations to get past warmup into EI.
+	for i := 0; i < 6; i++ {
+		x := bo.Next()
+		bo.Observe(x, -math.Abs(x[0]-21))
+	}
+	xs := bo.NextBatch(4)
+	distinct := 1
+	for i := 1; i < len(xs); i++ {
+		if xs[i][0] != xs[0][0] || xs[i][1] != xs[0][1] {
+			distinct++
+		}
+	}
+	if distinct < 2 {
+		t.Errorf("constant liar proposed %d distinct points in a batch of 4, want >= 2", distinct)
+	}
+	bo.ObserveBatch(xs, make([]float64, len(xs)))
+}

@@ -2,10 +2,21 @@
 # checklinks.sh — validate relative markdown links in the repo docs.
 #
 # Extracts every inline markdown link [text](target) from the checked
-# documents, skips external targets (http/https/mailto) and pure
-# in-page anchors (#...), strips any #fragment, and verifies the target
-# exists on disk relative to the file containing the link. Exits non-zero
-# listing every broken link, so CI catches doc rot when files move.
+# documents, skips external targets (http/https/mailto), and verifies:
+#
+#   1. the target file exists on disk relative to the file containing
+#      the link, and
+#   2. when the link carries a #fragment (in-page or into another .md
+#      file), a heading with the matching GitHub-style anchor exists in
+#      the target document.
+#
+# Anchors are derived the way GitHub renders them: heading text
+# lowercased, characters other than alphanumerics/spaces/dashes/
+# underscores stripped, spaces turned into dashes. Duplicate-heading
+# suffixes (-1, -2) are not modeled; the docs avoid duplicate headings.
+#
+# Exits non-zero listing every broken link or anchor, so CI catches doc
+# rot when files move or sections are renamed.
 #
 # Usage: scripts/checklinks.sh [file-or-dir ...]
 #        (defaults to README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/)
@@ -25,8 +36,24 @@ for t in $targets; do
     fi
 done
 
+# anchors_of FILE — print the GitHub-style anchor of every markdown
+# heading in FILE, one per line.
+anchors_of() {
+    grep '^#\{1,6\} ' "$1" \
+        | sed 's/^#\{1,6\} *//' \
+        | tr '[:upper:]' '[:lower:]' \
+        | sed 's/[^a-z0-9 _-]//g; s/ /-/g'
+}
+
+# has_anchor FILE FRAGMENT — succeed when FILE has a heading whose
+# derived anchor equals FRAGMENT.
+has_anchor() {
+    anchors_of "$1" | grep -qx "$2"
+}
+
 fail=0
 checked=0
+anchors=0
 for f in $files; do
     dir=$(dirname "$f")
     # One link per line: grep the inline-link pattern, then peel off the
@@ -36,14 +63,36 @@ for f in $files; do
     for link in $links; do
         case $link in
         http://*|https://*|mailto:*) continue ;;  # external: not checked offline
-        '#'*) continue ;;                         # in-page anchor
         esac
-        path=${link%%#*}                          # strip fragment
-        [ -n "$path" ] || continue
-        checked=$((checked + 1))
-        if [ ! -e "$dir/$path" ]; then
-            echo "checklinks: $f: broken link -> $link" >&2
-            fail=1
+        path=${link%%#*}                          # file part ('' for in-page)
+        frag=""
+        case $link in
+        *'#'*) frag=${link#*#} ;;
+        esac
+        if [ -n "$path" ]; then
+            checked=$((checked + 1))
+            if [ ! -e "$dir/$path" ]; then
+                echo "checklinks: $f: broken link -> $link" >&2
+                fail=1
+                continue
+            fi
+        fi
+        if [ -n "$frag" ]; then
+            # Resolve the document the fragment points into: this file
+            # for in-page anchors, the target for cross-file ones. Only
+            # markdown targets have derivable heading anchors.
+            anchor_file=$f
+            if [ -n "$path" ]; then
+                case $path in
+                *.md) anchor_file="$dir/$path" ;;
+                *) continue ;;
+                esac
+            fi
+            anchors=$((anchors + 1))
+            if ! has_anchor "$anchor_file" "$frag"; then
+                echo "checklinks: $f: missing anchor -> $link (no heading for #$frag in $anchor_file)" >&2
+                fail=1
+            fi
         fi
     done
 done
@@ -52,4 +101,4 @@ if [ "$fail" -ne 0 ]; then
     echo "checklinks: FAILED" >&2
     exit 1
 fi
-echo "checklinks: OK ($checked relative links checked)"
+echo "checklinks: OK ($checked relative links, $anchors anchors checked)"
