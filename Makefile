@@ -2,7 +2,7 @@ GO ?= go
 STATICCHECK ?= staticcheck
 FUZZTIME ?= 20s
 
-.PHONY: build vet staticcheck test race fuzz docs verify bench bench-json bench-ps
+.PHONY: build vet staticcheck test race fuzz docs verify bench bench-json bench-ps bench-priority
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,14 @@ bench:
 # from different machines stay interpretable.
 bench-json:
 	$(GO) run ./cmd/benchsuite -run all -measure-serial -json BENCH_PR4.json
+
+# bench-priority regenerates the committed priority/pipelining snapshot
+# (BENCH_PR9.json): the EXT-PRIORITY shootout — priority policies across
+# the sim model zoo, plus cross-iteration pipelining on vs the pass-end
+# baseline on both live backends, recorded as experiment metrics
+# (ps_pipeline_speedup_pct / ring_pipeline_speedup_pct).
+bench-priority:
+	$(GO) run ./cmd/benchsuite -run EXT-PRIORITY -json BENCH_PR9.json
 
 # bench-ps regenerates the committed netps server macro-benchmark
 # (BENCH_PR6.json): one complete push+pull cycle per op at 64/256/1k

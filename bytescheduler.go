@@ -113,6 +113,10 @@ func (f Framework) plugin() plugin.Framework {
 type Policy struct {
 	p         core.Policy
 	scheduled bool
+	// priority, when not PriorityDefault, derives the scheduling order
+	// from the model's DAG timing profile at run time (runner.Config.
+	// Priority) instead of a fixed PriorityFn on p.
+	priority core.PriorityPolicy
 }
 
 // Vanilla returns the baseline policy of unmodified frameworks: FIFO order,
@@ -124,8 +128,15 @@ func Vanilla() Policy { return Policy{p: core.FIFO()} }
 func P3() Policy { return Policy{p: core.P3(), scheduled: true} }
 
 // TicTac returns a priority-only policy without partitioning, approximating
-// TicTac.
-func TicTac() Policy { return Policy{p: core.TicTacLike(), scheduled: true} }
+// TicTac: scheduling order comes from critical-path analysis of the model's
+// DAG timing profile (core.DAGTimings), not from the raw layer index.
+func TicTac() Policy {
+	return Policy{
+		p:         core.Policy{Name: "tictac"},
+		scheduled: true,
+		priority:  core.PriorityCriticalPath,
+	}
+}
 
 // WithPartitionCredit returns the ByteScheduler policy with explicit
 // partition and credit sizes in bytes.
@@ -207,6 +218,11 @@ type Experiment struct {
 	GPUs int
 	// Policy selects the scheduler; Vanilla() for the baseline.
 	Policy Policy
+	// Priority overrides how the scheduler orders tensors: "" keeps the
+	// policy's own order, "layer" ranks by layer index, "tictac" (or
+	// "critical-path") ranks by remaining critical-path length from the
+	// model's DAG timing profile, "random" is the seeded ablation arm.
+	Priority string
 	// AsyncPS enables asynchronous PS training.
 	AsyncPS bool
 	// Collective selects the all-reduce algorithm: "" or "ring",
@@ -306,6 +322,13 @@ func (e Experiment) runnerConfig() (runner.Config, error) {
 	if err != nil {
 		return runner.Config{}, err
 	}
+	priority := e.Policy.priority
+	if e.Priority != "" {
+		priority, err = core.ParsePriorityPolicy(e.Priority)
+		if err != nil {
+			return runner.Config{}, err
+		}
+	}
 	return runner.Config{
 		Model:         m,
 		Framework:     e.Framework.plugin(),
@@ -315,6 +338,7 @@ func (e Experiment) runnerConfig() (runner.Config, error) {
 		GPUs:          e.GPUs,
 		Policy:        e.Policy.p,
 		Scheduled:     e.Policy.scheduled,
+		Priority:      priority,
 		Async:         e.AsyncPS,
 		Collective:    collective,
 		Compression:   compression,

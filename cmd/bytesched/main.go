@@ -47,7 +47,15 @@ type options struct {
 	Model, Framework, Arch, Transport, Policy string
 	// Assign selects the PS placement strategy (ps.ParseStrategy
 	// spellings: round-robin, size-balanced/lpt, hash-ring).
-	Assign                     string
+	Assign string
+	// Priority overrides how the policy orders tensors: layer, tictac
+	// (critical-path over the DAG timing profile), or random (seeded
+	// ablation). Empty keeps the policy's own order.
+	Priority string
+	// Pipeline selects cross-iteration pipelining on live runs: auto, on
+	// (stream tasks mid-backward-pass, coordinated rings through the
+	// agreed-order window), off (hold every pass to its boundary).
+	Pipeline                   string
 	BW, PartMB, CreditMB       float64
 	GPUs, Iters, Warmup, TuneN int
 	Seed                       int64
@@ -101,6 +109,10 @@ func main() {
 	flag.Float64Var(&o.BW, "bw", 100, "per-direction bandwidth in Gbps")
 	flag.IntVar(&o.GPUs, "gpus", 16, "total GPUs (multiple of 8)")
 	flag.StringVar(&o.Policy, "policy", "bytescheduler", "policy: fifo, p3, tictac, bytescheduler")
+	flag.StringVar(&o.Priority, "priority", "",
+		"priority strategy override: layer, tictac (critical-path from DAG timings), random (empty keeps the policy's order)")
+	flag.StringVar(&o.Pipeline, "pipeline", "auto",
+		"cross-iteration pipelining on live runs: auto, on (stream mid-pass), off (hold to pass end)")
 	flag.Float64Var(&o.PartMB, "partition", 2, "partition size in MB (bytescheduler policy)")
 	flag.Float64Var(&o.CreditMB, "credit", 8, "credit size in MB (bytescheduler policy)")
 	flag.BoolVar(&o.Async, "async", false, "asynchronous PS")
@@ -196,13 +208,22 @@ func run(o options) error {
 		cfg.Policy = core.P3()
 		cfg.Scheduled = true
 	case "tictac":
-		cfg.Policy = core.TicTacLike()
+		cfg.Policy = core.Policy{Name: "tictac"}
+		cfg.Priority = core.PriorityCriticalPath
 		cfg.Scheduled = true
 	case "bytescheduler", "bs":
 		cfg.Policy = core.ByteScheduler(int64(o.PartMB*(1<<20)), int64(o.CreditMB*(1<<20)))
 		cfg.Scheduled = true
 	default:
 		return fmt.Errorf("unknown policy %q", o.Policy)
+	}
+	if o.Priority != "" {
+		if cfg.Priority, err = core.ParsePriorityPolicy(o.Priority); err != nil {
+			return err
+		}
+	}
+	if o.Pipeline != "" && o.Pipeline != "auto" {
+		return fmt.Errorf("-pipeline is a live-run knob; combine it with -backend")
 	}
 
 	if o.TuneN > 0 {
@@ -291,19 +312,32 @@ func run(o options) error {
 	return nil
 }
 
-// livePolicy maps the -policy flag onto a live scheduling policy.
-func livePolicy(o options) (core.Policy, error) {
+// livePolicy maps the -policy and -priority flags onto a live scheduling
+// policy plus the priority strategy the runner materializes from the run's
+// layer profile.
+func livePolicy(o options) (core.Policy, core.PriorityPolicy, error) {
+	var pol core.Policy
+	prio := core.PriorityDefault
 	switch strings.ToLower(o.Policy) {
 	case "fifo":
-		return runner.LiveFIFO(), nil
+		pol = runner.LiveFIFO()
 	case "p3":
-		return core.P3(), nil
+		pol = core.P3()
 	case "tictac":
-		return core.TicTacLike(), nil
+		pol = core.Policy{Name: "tictac"}
+		prio = core.PriorityCriticalPath
 	case "bytescheduler", "bs":
-		return core.ByteScheduler(int64(o.PartMB*(1<<20)), int64(o.CreditMB*(1<<20))), nil
+		pol = core.ByteScheduler(int64(o.PartMB*(1<<20)), int64(o.CreditMB*(1<<20)))
+	default:
+		return core.Policy{}, prio, fmt.Errorf("unknown policy %q", o.Policy)
 	}
-	return core.Policy{}, fmt.Errorf("unknown policy %q", o.Policy)
+	if o.Priority != "" {
+		var err error
+		if prio, err = core.ParsePriorityPolicy(o.Priority); err != nil {
+			return core.Policy{}, prio, err
+		}
+	}
+	return pol, prio, nil
 }
 
 // parseLiveLayers parses the -live-layers KB list into per-layer bytes.
@@ -342,7 +376,11 @@ func runLive(o options) error {
 	if err != nil {
 		return err
 	}
-	policy, err := livePolicy(o)
+	policy, priority, err := livePolicy(o)
+	if err != nil {
+		return err
+	}
+	pipeline, err := runner.ParsePipelineMode(o.Pipeline)
 	if err != nil {
 		return err
 	}
@@ -359,6 +397,8 @@ func runLive(o options) error {
 		Workers:         o.LiveWorkers,
 		LayerBytes:      layers,
 		Policy:          policy,
+		Priority:        priority,
+		Pipeline:        pipeline,
 		Iterations:      iters,
 		Warmup:          warmup,
 		ForwardCompute:  o.LiveCompute,
@@ -408,6 +448,8 @@ func runLive(o options) error {
 	}
 	baseCfg := cfg
 	baseCfg.Policy = runner.LiveFIFO()
+	baseCfg.Priority = core.PriorityDefault // vanilla emission order
+	baseCfg.Pipeline = runner.PipelineAuto
 	baseCfg.Trace = nil
 	baseCfg.Metrics = nil
 	baseCfg.AutoTune = nil // the unscheduled baseline has no knobs to tune
@@ -424,6 +466,9 @@ func runLive(o options) error {
 		backend, cfg.Workers, len(layers), float64(total)/1024, policy.Name)
 	if cfg.FuseTheta > 0 || !codec.IsIdentity() {
 		fmt.Printf("  wire:      fuse-theta=%d B, codec=%s\n", cfg.FuseTheta, codec.Name())
+	}
+	if priority != core.PriorityDefault || pipeline != runner.PipelineAuto {
+		fmt.Printf("  schedule:  priority=%s, pipeline=%s\n", priority, pipeline)
 	}
 	fmt.Printf("  iter:      %10.2f ms  (%s)\n", res.IterTime*1e3, policy.Name)
 	fmt.Printf("  baseline:  %10.2f ms  (fifo)\n", base.IterTime*1e3)

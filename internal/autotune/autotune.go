@@ -24,6 +24,16 @@
 // baseline; two consecutive windows more than RetunePct below that
 // baseline — a bandwidth change, a new co-tenant, not a single noisy
 // window — start a fresh search episode.
+//
+// Settled regression detection watches two signals. The primary is
+// training speed against the EWMA baseline. The secondary is the mean
+// transport op latency (the netps_push_seconds / netps_pull_seconds /
+// netar_op_seconds histograms, read as per-window deltas): a fabric can
+// degrade — longer queues, a slower link — while compute still hides the
+// damage from iteration time, and the op latency surfaces it first. A
+// settled window whose mean op latency exceeds its own EWMA baseline by
+// more than LatencyPct counts as regressing under the same two-window
+// confirmation rule.
 package autotune
 
 import (
@@ -131,6 +141,14 @@ type Config struct {
 	// mean the environment shifted (a single bad window is treated as
 	// noise and left out of the baseline). Default 0.30.
 	RetunePct float64
+	// LatencyPct is the secondary regression signal: a settled window
+	// whose mean transport op latency (netps_*/netar_* histogram delta)
+	// exceeds the settled latency EWMA by more than this fraction counts
+	// as regressing even while speed holds — compute can hide a degrading
+	// fabric from iteration time. Subject to the same two-consecutive-
+	// window confirmation as RetunePct. Default 1.0 (latency must double;
+	// loopback op latency is far noisier than iteration time).
+	LatencyPct float64
 	// Metrics, if non-nil, publishes the autotune_* series and lets the
 	// controller read the transport latency histograms (netps_*/netar_*).
 	Metrics *metrics.Registry
@@ -161,6 +179,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetunePct <= 0 {
 		c.RetunePct = 0.30
+	}
+	if c.LatencyPct <= 0 {
+		c.LatencyPct = 1.0
 	}
 	return c
 }
@@ -251,8 +272,9 @@ type Controller struct {
 
 	best      Setting
 	bestSpeed float64
-	baseline  float64 // settled EWMA
-	slow      int     // consecutive settled windows below the retune bar
+	baseline  float64 // settled speed EWMA
+	opBase    float64 // settled op-latency EWMA, seeded by the first steady window
+	slow      int     // consecutive settled windows past a regression bar
 	report    Report
 
 	// Transport latency histograms, read as deltas per window.
@@ -359,14 +381,17 @@ func (c *Controller) ObserveIteration(iter int, seconds float64) {
 	c.judge(iter, speed)
 }
 
-// judge advances the state machine on one completed window.
+// judge advances the state machine on one completed window. The window's
+// transport op latency is read exactly once here (opDelta consumes the
+// histogram delta) and threaded through every decision it informs.
 func (c *Controller) judge(iter int, speed float64) {
+	op := c.opDelta()
 	switch c.state {
 	case StateWarmup:
 		// The starting config's window is the episode baseline.
 		c.observeTuner(speed)
 		c.adoptBest(c.cand, speed)
-		c.decide(iter, "baseline", speed)
+		c.decide(iter, "baseline", speed, op)
 		c.nextProbe()
 	case StateProbing:
 		c.observeTuner(speed)
@@ -378,43 +403,54 @@ func (c *Controller) judge(iter int, speed float64) {
 			c.rolled = true
 			c.report.Rollbacks++
 			c.rollbackC.Inc()
-			c.decide(iter, "rollback", speed)
+			c.decide(iter, "rollback", speed, op)
 			c.setCand(c.best, nil)
 			c.state = StateRecovering
 			return
 		}
-		c.decide(iter, "probe", speed)
-		c.advance(iter)
+		c.decide(iter, "probe", speed, op)
+		c.advance(iter, op)
 	case StateRecovering:
 		// Refresh the incumbent's speed under current conditions so later
 		// comparisons are honest if the fabric shifted mid-episode.
 		c.bestSpeed = speed
-		c.decide(iter, "revalidate", speed)
-		c.advance(iter)
+		c.decide(iter, "revalidate", speed, op)
+		c.advance(iter, op)
 	case StateSettled:
-		if speed < c.baseline*(1-c.cfg.RetunePct) {
+		slowSpeed := speed < c.baseline*(1-c.cfg.RetunePct)
+		slowOp := c.opBase > 0 && op > c.opBase*(1+c.cfg.LatencyPct)
+		if slowSpeed || slowOp {
 			// One bad window is weather, two in a row is a shifted
-			// fabric: hold the baseline (averaging the dip in would
-			// mask a real regression) and wait for confirmation.
+			// fabric: hold the baselines (averaging the dip in would
+			// mask a real regression) and wait for confirmation. The op
+			// latency bar counts toward the same confirmation — a fabric
+			// can degrade behind compute overlap before speed moves.
 			c.slow++
 			if c.slow >= 2 {
-				c.startEpisode(iter, speed)
+				c.startEpisode(iter, speed, op)
 				return
 			}
-			c.decide(iter, "regressing", speed)
+			c.decide(iter, "regressing", speed, op)
 			return
 		}
 		c.slow = 0
 		c.baseline = 0.7*c.baseline + 0.3*speed
+		if op > 0 {
+			if c.opBase == 0 {
+				c.opBase = op
+			} else {
+				c.opBase = 0.7*c.opBase + 0.3*op
+			}
+		}
 		c.report.SettledSpeed = c.baseline
-		c.decide(iter, "steady", speed)
+		c.decide(iter, "steady", speed, op)
 	}
 }
 
 // advance proposes the next probe or settles the episode.
-func (c *Controller) advance(iter int) {
+func (c *Controller) advance(iter int, op float64) {
 	if c.probes >= c.cfg.Trials {
-		c.settle(iter)
+		c.settle(iter, op)
 		return
 	}
 	c.nextProbe()
@@ -431,23 +467,26 @@ func (c *Controller) nextProbe() {
 }
 
 // settle adopts the episode's best config and enters steady-state watch.
-func (c *Controller) settle(iter int) {
+// The op-latency baseline is left for the first steady window to seed:
+// this window measured the last probe, not the adopted config.
+func (c *Controller) settle(iter int, op float64) {
 	c.setCand(c.best, nil)
 	c.baseline = c.bestSpeed
+	c.opBase = 0
 	c.report.Settled = true
 	c.report.SettledSpeed = c.baseline
 	c.state = StateSettled
-	c.decide(iter, "adopt", c.bestSpeed)
+	c.decide(iter, "adopt", c.bestSpeed, op)
 }
 
 // startEpisode begins a fresh search after a sustained regression,
 // seeding the new suggester with the degraded incumbent observation.
-func (c *Controller) startEpisode(iter int, speed float64) {
+func (c *Controller) startEpisode(iter int, speed, op float64) {
 	c.episode++
 	c.report.Episodes++
 	c.report.Retunes++
 	c.retune.Inc()
-	c.decide(iter, "retune", speed)
+	c.decide(iter, "retune", speed, op)
 	c.tuner = newSuggester(c.cfg.Suggester, c.cfg.Bounds, c.cfg.Seed+int64(c.episode)*7919)
 	c.observeTuner(speed)
 	c.best = c.cand
@@ -497,11 +536,12 @@ func (c *Controller) publishTarget() {
 	c.gState.Set(int64(c.state))
 }
 
-// decide appends to the decision log and emits metrics/trace.
-func (c *Controller) decide(iter int, action string, speed float64) {
+// decide appends to the decision log and emits metrics/trace. op is the
+// window's mean transport op latency, already read by judge.
+func (c *Controller) decide(iter int, action string, speed, op float64) {
 	d := Decision{
 		Iter: iter, Setting: c.cand, Speed: speed,
-		OpSeconds: c.opDelta(), State: c.state, Action: action,
+		OpSeconds: op, State: c.state, Action: action,
 	}
 	c.report.Decisions = append(c.report.Decisions, d)
 	c.decisions.Inc()
@@ -512,8 +552,9 @@ func (c *Controller) decide(iter int, action string, speed float64) {
 	c.winFrom = time.Now()
 }
 
-// opDelta returns the mean transport op latency since the previous
-// decision, across whichever netps_*/netar_* histograms are live.
+// opDelta returns the mean transport op latency since the previous judged
+// window, across whichever netps_*/netar_* histograms are live. Each call
+// consumes the delta, so judge reads it exactly once per window.
 func (c *Controller) opDelta() float64 {
 	var count uint64
 	var sum float64

@@ -121,6 +121,70 @@ func TestSingleNoisyWindowDoesNotRetune(t *testing.T) {
 	}
 }
 
+// TestLatencyRegressionTriggersRetune pins the secondary objective
+// signal: training speed stays perfectly flat while the transport op
+// latency histograms inflate 10x — a fabric degrading behind compute
+// overlap. The controller must flag the settled windows as regressing on
+// latency alone and start a retune episode after the standard two-window
+// confirmation.
+func TestLatencyRegressionTriggersRetune(t *testing.T) {
+	reg := metrics.NewRegistry()
+	push := reg.Histogram("netps_push_seconds")
+	feed := func(sec float64) {
+		for i := 0; i < 4; i++ {
+			push.Observe(sec)
+		}
+	}
+	flat := func(Setting) float64 { return 50 }
+	c, err := New(start(), Config{
+		Suggester: "bo", Seed: 7, WarmupIters: 1, DwellIters: 2,
+		Trials: 4, LatencyPct: 0.5, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Settle with healthy 1ms ops so the latency EWMA gets seeded.
+	it := 0
+	for ; it < 80; it++ {
+		feed(1e-3)
+		s := c.ConfigFor(it)
+		c.ObserveIteration(it, 1/flat(s))
+	}
+	if rep := c.Report(); !rep.Settled || rep.Retunes != 0 {
+		t.Fatalf("healthy run should settle without retunes: %+v", rep)
+	}
+	// Inflate op latency only; speed is unchanged by construction.
+	for ; it < 160 && c.Report().Retunes == 0; it++ {
+		feed(10e-3)
+		s := c.ConfigFor(it)
+		c.ObserveIteration(it, 1/flat(s))
+	}
+	rep := c.Report()
+	if rep.Retunes != 1 {
+		t.Fatalf("latency-only regression never started an episode: %+v", rep)
+	}
+	// The confirmation discipline must hold for the latency bar too: a
+	// "regressing" flag precedes the "retune", and the windows that fired
+	// it saw flat speed but inflated ops.
+	var flagged bool
+	for _, d := range rep.Decisions {
+		if d.Action == "retune" {
+			if !flagged {
+				t.Fatal("retune fired without a prior regressing window")
+			}
+			if d.Speed < 49 {
+				t.Fatalf("retune window speed %.1f: the regression should be latency-only", d.Speed)
+			}
+		}
+		if d.Action == "regressing" {
+			flagged = true
+			if d.OpSeconds < 5e-3 {
+				t.Fatalf("regressing window op latency %.4fs, want the inflated ops", d.OpSeconds)
+			}
+		}
+	}
+}
+
 // TestRollbackStateMachine drives the guarded-rollback and retune logic
 // through scripted fabric scenarios.
 func TestRollbackStateMachine(t *testing.T) {

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"bytescheduler/internal/tensor"
+)
+
+func TestParsePriorityPolicy(t *testing.T) {
+	cases := map[string]PriorityPolicy{
+		"":              PriorityDefault,
+		"default":       PriorityDefault,
+		"layer":         PriorityLayer,
+		"tictac":        PriorityCriticalPath,
+		"critical-path": PriorityCriticalPath,
+		"cp":            PriorityCriticalPath,
+		"random":        PriorityRandom,
+	}
+	for in, want := range cases {
+		got, err := ParsePriorityPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePriorityPolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParsePriorityPolicy("bogus"); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	for _, p := range []PriorityPolicy{PriorityDefault, PriorityLayer, PriorityCriticalPath, PriorityRandom} {
+		round, err := ParsePriorityPolicy(p.String())
+		if err != nil || round != p {
+			t.Fatalf("String/Parse round trip for %v: got %v, %v", p, round, err)
+		}
+	}
+}
+
+func TestDAGTimingsValidate(t *testing.T) {
+	bad := []DAGTimings{
+		{},
+		{FP: []float64{1}, LayerBytes: []int64{1, 2}, BytesPerSec: 1},
+		{FP: []float64{1}, LayerBytes: []int64{1}, BytesPerSec: 0},
+		{FP: []float64{-1}, LayerBytes: []int64{1}, BytesPerSec: 1},
+		{FP: []float64{1}, LayerBytes: []int64{-1}, BytesPerSec: 1},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: invalid timings accepted: %+v", i, d)
+		}
+	}
+}
+
+// TestCriticalPathUniformProfile pins the degenerate case: when every layer
+// has the same forward time and size, remaining critical-path length is
+// strictly decreasing in the layer index, so the critical-path ranks reduce
+// to layer order.
+func TestCriticalPathUniformProfile(t *testing.T) {
+	d := DAGTimings{
+		FP:          []float64{2e-3, 2e-3, 2e-3, 2e-3},
+		LayerBytes:  []int64{1 << 20, 1 << 20, 1 << 20, 1 << 20},
+		BytesPerSec: 1e9,
+	}
+	ranks, err := d.CriticalPathRanks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ranks, LayerRanks(4)) {
+		t.Fatalf("uniform profile ranks = %v, want layer order", ranks)
+	}
+}
+
+// TestCriticalPathTailHeavyProfile is the TicTacLike regression test: on a
+// tail-heavy profile (a huge transfer late in the DAG, e.g. a classifier
+// layer, behind a short forward suffix) the critical-path policy must order
+// layers differently from plain layer index — the tail's transfer time
+// dominates its remaining path. The old TicTacLike was a mislabeled alias
+// for LayerPriority and sorted both profiles identically.
+func TestCriticalPathTailHeavyProfile(t *testing.T) {
+	d := DAGTimings{
+		// 1 ms of forward per layer; the last layer carries 64 MB while the
+		// rest carry 256 KB. At 1 GB/s the tail transfer is 64 ms — longer
+		// than the whole forward suffix of any front layer.
+		FP:          []float64{1e-3, 1e-3, 1e-3, 1e-3},
+		LayerBytes:  []int64{256 << 10, 256 << 10, 256 << 10, 64 << 20},
+		BytesPerSec: 1e9,
+	}
+	ranks, err := d.CriticalPathRanks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(ranks, LayerRanks(4)) {
+		t.Fatalf("tail-heavy profile ranks = %v, identical to layer order", ranks)
+	}
+	if ranks[3] != 0 {
+		t.Fatalf("tail layer rank = %d, want 0 (longest remaining path first); ranks = %v", ranks[3], ranks)
+	}
+	// The two policies must disagree through the Policy surface too.
+	tail := tensor.Tensor{Layer: 3, Bytes: 64 << 20}
+	front := tensor.Tensor{Layer: 0, Bytes: 256 << 10}
+	cp := TicTacLike(d).Priority
+	if cp(tail, 1) >= cp(front, 2) {
+		t.Fatal("critical-path policy does not prefer the tail transfer")
+	}
+	if LayerPriority(tail, 1) <= LayerPriority(front, 2) {
+		t.Fatal("layer policy unexpectedly prefers the tail transfer")
+	}
+}
+
+func TestRandomRanksDeterministic(t *testing.T) {
+	a := RandomRanks(42, 16)
+	b := RandomRanks(42, 16)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different permutations: %v vs %v", a, b)
+	}
+	c := RandomRanks(43, 16)
+	if reflect.DeepEqual(a, c) {
+		t.Fatalf("different seeds produced the same permutation: %v", a)
+	}
+	seen := make(map[int64]bool, 16)
+	for _, r := range a {
+		if r < 0 || r >= 16 || seen[r] {
+			t.Fatalf("not a permutation: %v", a)
+		}
+		seen[r] = true
+	}
+}
+
+func TestPriorityPolicyRanks(t *testing.T) {
+	d := DAGTimings{FP: []float64{1e-3, 1e-3}, LayerBytes: []int64{1 << 20, 1 << 20}, BytesPerSec: 1e9}
+	if r, err := PriorityDefault.Ranks(d, 1); err != nil || r != nil {
+		t.Fatalf("PriorityDefault.Ranks = %v, %v; want nil, nil", r, err)
+	}
+	if r, err := PriorityLayer.Ranks(d, 1); err != nil || !reflect.DeepEqual(r, []int64{0, 1}) {
+		t.Fatalf("PriorityLayer.Ranks = %v, %v", r, err)
+	}
+	if _, err := PriorityCriticalPath.Ranks(DAGTimings{}, 1); err == nil {
+		t.Fatal("critical path accepted empty timings")
+	}
+	if r, err := PriorityRandom.Ranks(d, 7); err != nil || len(r) != 2 {
+		t.Fatalf("PriorityRandom.Ranks = %v, %v", r, err)
+	}
+}
+
+func TestRankPriority(t *testing.T) {
+	fn := RankPriority([]int64{2, 0, 1})
+	for layer, want := range []int64{2, 0, 1} {
+		if got := fn(tensor.Tensor{Layer: layer}, 9); got != want {
+			t.Fatalf("rank(layer %d) = %d, want %d", layer, got, want)
+		}
+	}
+	// Out-of-table layers keep their index (fused buckets, probes).
+	if got := fn(tensor.Tensor{Layer: 7}, 9); got != 7 {
+		t.Fatalf("rank(layer 7) = %d, want 7", got)
+	}
+}

@@ -73,7 +73,8 @@ func AblationPartition(o Opts) (Table, error) {
 		return Table{}, err
 	}
 	noPart := ablationBase()
-	noPart.Policy = core.TicTacLike()
+	noPart.Policy = core.Policy{Name: "tictac"}
+	noPart.Priority = core.PriorityCriticalPath
 	noPart.Scheduled = true
 	prioOnly, err := o.run(noPart)
 	if err != nil {

@@ -170,6 +170,7 @@ func All() []Experiment {
 		{"EXT-FUSION", ExtTensorFusion, "tensor fusion + wire codecs on live PS: fused vs unfused (netps)"},
 		{"EXT-AUTOTUNE", ExtAutoTune, "closed-loop online (partition, credit) tuning on live PS across a bandwidth change"},
 		{"EXT-BALANCE", ExtLoadBalance, "PS placement strategies on power-law tensors (load balance)"},
+		{"EXT-PRIORITY", ExtPriority, "priority policy shootout (sim zoo) + cross-iteration pipelining on both live backends"},
 		{"THM1", ThmOptimality, "Theorem 1 optimality and the §4.1 overhead bound"},
 	}
 }
@@ -177,7 +178,7 @@ func All() []Experiment {
 // liveIDs marks experiments that execute on the real network stack
 // (wall-clock timings over loopback TCP) rather than the deterministic
 // simulator.
-var liveIDs = map[string]bool{"EXT-RING": true, "EXT-FUSION": true, "EXT-AUTOTUNE": true}
+var liveIDs = map[string]bool{"EXT-RING": true, "EXT-FUSION": true, "EXT-AUTOTUNE": true, "EXT-PRIORITY": true}
 
 // Live reports whether the experiment measures the live network stack.
 // Live metrics are measurements, not derivations: reruns produce

@@ -1,11 +1,12 @@
-// Regenerates the committed fuzz corpus seeds for codec-bearing ring
-// segments. The committed files keep the codec envelope (codec id +
-// original length) regression-tested by plain `go test` even where fuzzing
-// never runs.
+// Regenerates the committed fuzz corpus seeds for codec-bearing and
+// cross-iteration ring segments. The committed files keep the codec
+// envelope (codec id + original length) and the pipelined
+// two-iterations-in-flight wire shapes regression-tested by plain
+// `go test` even where fuzzing never runs.
 //
 // Refresh after a framing change with:
 //
-//	GEN_FUZZ_CORPUS=1 go test ./internal/netar/ -run TestGenerateCodecCorpus
+//	GEN_FUZZ_CORPUS=1 go test ./internal/netar/ -run 'TestGenerate.*Corpus'
 package netar
 
 import (
@@ -39,6 +40,34 @@ func TestGenerateCodecCorpus(t *testing.T) {
 		}
 		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b.String())
 		name := filepath.Join(dir, fmt.Sprintf("codec%02d", i))
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGenerateCrossIterCorpus writes the cross-iteration seeds: segments
+// for the same key at iteration i and i+1, the wire shape the streaming
+// coordinated release puts in flight at once.
+func TestGenerateCrossIterCorpus(t *testing.T) {
+	if os.Getenv("GEN_FUZZ_CORPUS") == "" {
+		t.Skip("set GEN_FUZZ_CORPUS=1 to rewrite testdata/fuzz seeds")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeFrame")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	seeds := []message{
+		{Op: OpData, Iter: 3, Seq: 11, Step: 1, Chunk: 0, Key: "L05[1/4]", Payload: encodeFloats([]float32{1, 2})},
+		{Op: OpData, Iter: 4, Seq: 12, Step: 1, Chunk: 0, Key: "L05[1/4]", Payload: encodeFloats([]float32{3, 4})},
+	}
+	for i, m := range seeds {
+		var b bytes.Buffer
+		if err := writeMessage(&b, m); err != nil {
+			t.Fatal(err)
+		}
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b.String())
+		name := filepath.Join(dir, fmt.Sprintf("xiter%02d", i))
 		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
 			t.Fatal(err)
 		}

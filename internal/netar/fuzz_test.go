@@ -38,6 +38,11 @@ func FuzzDecodeFrame(f *testing.F) {
 		Key: "L05[2/4]", Payload: []byte{0x3c, 0x81, 0x02, 0x04, 0x7f, 0x81, 0x00}}))
 	f.Add(frame(message{Op: OpData, Codec: 3, Iter: 2, Seq: 10, Step: 5, Chunk: 3, Orig: 16,
 		Key: "L05[3/4]", Payload: []byte{0, 0, 0, 1, 0, 0, 0, 0, 0x3f, 0x80, 0, 0}}))
+	// Cross-iteration segments: with the streaming coordinated release,
+	// iteration i and i+1 segments for the same key are in flight at once;
+	// the iter field is the only discriminator the pending table sees.
+	f.Add(frame(message{Op: OpData, Iter: 3, Seq: 11, Step: 1, Chunk: 0, Key: "L05[1/4]", Payload: encodeFloats([]float32{1, 2})}))
+	f.Add(frame(message{Op: OpData, Iter: 4, Seq: 12, Step: 1, Chunk: 0, Key: "L05[1/4]", Payload: encodeFloats([]float32{3, 4})}))
 	// Adversarial length prefix: near-maxMessage advertised, zero carried.
 	huge := frame(message{Op: OpData, Key: "x"})
 	binary.BigEndian.PutUint32(huge[len(huge)-4:], maxMessage-1)

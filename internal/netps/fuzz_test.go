@@ -44,6 +44,12 @@ func FuzzDecodeMessage(f *testing.F) {
 		Key: "w0/L07[1/4]", Payload: []byte{0x3c, 0x81, 0x02, 0x04, 0x7f, 0x81, 0x00}}))
 	f.Add(frame(f, message{Op: OpPull, Codec: 3, Iter: 5, Orig: 16,
 		Key: "w0/L07[2/4]", Payload: []byte{0, 0, 0, 1, 0, 0, 0, 0, 0x3f, 0x80, 0, 0}}))
+	// Cross-iteration frames: with pipelining, iteration i and i+1 frames
+	// for the same tensor key interleave on one connection; the iter field
+	// is the only discriminator the server's dedup and aggregation see.
+	f.Add(frame(f, message{Op: OpPush, Iter: 6, Seq: 20, Key: "w0/L00[0/2]", Payload: []byte{1, 2, 3, 4}}))
+	f.Add(frame(f, message{Op: OpPush, Iter: 7, Seq: 21, Key: "w0/L00[0/2]", Payload: []byte{5, 6, 7, 8}}))
+	f.Add(frame(f, message{Op: OpPull, Iter: 7, Key: "w0/L00[1/2]"}))
 	// Adversarial length prefix: header advertises a near-maxMessage
 	// payload backed by nothing.
 	huge := frame(f, message{Op: OpPush, Key: "x"})
@@ -98,6 +104,17 @@ func FuzzDecodeBatch(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(two)
+	// A pipelined batch: iteration i and i+1 subs for the same key in one
+	// envelope, the wire shape two in-flight iterations produce.
+	xiter, err := encodeBatch([]message{
+		{Op: OpPush, Iter: 6, Seq: 5, Key: "w1/L02[0/2]", Payload: []byte{1, 2, 3, 4}},
+		{Op: OpPush, Iter: 7, Seq: 6, Key: "w1/L02[0/2]", Payload: []byte{5, 6, 7, 8}},
+		{Op: OpPull, Iter: 6, Key: "w1/L02[1/2]"},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(xiter)
 	// Truncations at every interesting boundary of a valid envelope.
 	for _, cut := range []int{1, fixedHeader - 1, fixedHeader, fixedHeader + 1, len(two) - 1} {
 		f.Add(two[:cut])

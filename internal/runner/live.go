@@ -10,6 +10,7 @@ package runner
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -115,6 +116,30 @@ type LiveConfig struct {
 	// top-k); the zero value is the identity (raw fp32) codec. Lossy
 	// codecs relax the runner's aggregation verification accordingly.
 	Codec compress.Codec
+	// Priority, when not PriorityDefault, derives the scheduling order
+	// from the run's layer profile (uniform ForwardCompute per layer,
+	// LayerBytes, LinkBytesPerSec) and overrides the policy's priority
+	// function with the resulting rank table: layer index, TicTac-style
+	// critical path, or a seeded random permutation for ablation. The
+	// table is materialized once per run, so every worker — and, on
+	// coordinated ring runs, every peer's agreed admission order — uses
+	// the same ranks.
+	Priority core.PriorityPolicy
+	// LinkBytesPerSec is the modeled link rate the critical-path priority
+	// uses to convert layer bytes into transfer time; 0 defaults to
+	// DefaultLiveLinkBytesPerSec (loopback-order).
+	LinkBytesPerSec float64
+	// Pipeline selects cross-iteration pipelining (see PipelineMode):
+	// whether a backward pass's gradient tasks reach the scheduler as the
+	// pass produces them (overlapping iteration i's backward compute and
+	// iteration i+1's forward-blocking transfers with communication) or
+	// are held to the pass boundary. PipelineAuto keeps each backend's
+	// established behavior.
+	Pipeline PipelineMode
+	// PipelineWindow bounds the coordinated streaming release's reorder
+	// lookahead (core.StreamReleaser); 0 picks half the layer count. Only
+	// meaningful for PipelineOn on coordinated ring runs.
+	PipelineWindow int
 	// AutoTune, when non-nil, closes the online tuning loop: every worker
 	// pins its per-iteration (partition, credit) from one shared
 	// autotune.Controller and applies it at the pass boundary through
@@ -137,6 +162,79 @@ type LiveConfig struct {
 // nothing is in flight.
 func LiveFIFO() core.Policy {
 	return core.Policy{Name: "fifo", CreditBytes: 1}
+}
+
+// PipelineMode selects when a backward pass's gradient tasks reach the
+// scheduler, the knob behind the paper's Fig. 3 overlap: pipelined runs
+// admit iteration i+1's forward-blocking transfers while iteration i's
+// backward pass is still computing; non-pipelined runs serialize the pass
+// and its communication.
+type PipelineMode int
+
+const (
+	// PipelineAuto keeps each backend's established behavior: PS (and
+	// uncoordinated ring) runs stream tasks as the backward pass emits
+	// them; coordinated ring runs hold the pass and release it atomically.
+	PipelineAuto PipelineMode = iota
+	// PipelineOn streams everywhere. On coordinated ring runs this swaps
+	// the atomic pass-end release for a core.StreamReleaser: tasks are
+	// released mid-pass through a bounded lookahead window in an agreed
+	// total order, so communication overlaps backward compute without
+	// giving up deadlock-freedom.
+	PipelineOn
+	// PipelineOff holds every pass's tasks until the backward pass ends on
+	// both backends — the non-pipelined scheduled baseline the EXT-PRIORITY
+	// ablation measures against.
+	PipelineOff
+)
+
+// String returns the mode's flag spelling.
+func (m PipelineMode) String() string {
+	switch m {
+	case PipelineAuto:
+		return "auto"
+	case PipelineOn:
+		return "on"
+	case PipelineOff:
+		return "off"
+	}
+	return fmt.Sprintf("PipelineMode(%d)", int(m))
+}
+
+// ParsePipelineMode parses the -pipeline flag value.
+func ParsePipelineMode(s string) (PipelineMode, error) {
+	switch s {
+	case "", "auto":
+		return PipelineAuto, nil
+	case "on", "stream":
+		return PipelineOn, nil
+	case "off", "passend":
+		return PipelineOff, nil
+	}
+	return 0, fmt.Errorf("runner: unknown pipeline mode %q (want auto, on or off)", s)
+}
+
+// DefaultLiveLinkBytesPerSec is the loopback-order link-rate estimate the
+// critical-path priority falls back to when LinkBytesPerSec is unset.
+const DefaultLiveLinkBytesPerSec = 1 << 30
+
+// priorityRanks materializes the run's priority strategy into a per-layer
+// rank table (nil for PriorityDefault). The live profile has uniform
+// forward compute per layer, so the critical path is driven by LayerBytes
+// and the link-rate estimate.
+func (c LiveConfig) priorityRanks() ([]int64, error) {
+	if c.Priority == core.PriorityDefault {
+		return nil, nil
+	}
+	rate := c.LinkBytesPerSec
+	if rate == 0 {
+		rate = DefaultLiveLinkBytesPerSec
+	}
+	fp := make([]float64, len(c.LayerBytes))
+	for i := range fp {
+		fp[i] = c.ForwardCompute.Seconds()
+	}
+	return c.Priority.Ranks(core.DAGTimings{FP: fp, LayerBytes: c.LayerBytes, BytesPerSec: rate}, c.Seed)
 }
 
 // Validate reports configuration errors.
@@ -181,6 +279,25 @@ func (c LiveConfig) Validate() error {
 	if c.AutoTune != nil && c.FuseTheta > 0 {
 		return fmt.Errorf("runner: auto-tuning is incompatible with tensor fusion: fused transfers hold credit through the blocking pull, and a probed credit window smaller than two fused buckets can cross-deadlock workers")
 	}
+	switch c.Priority {
+	case core.PriorityDefault, core.PriorityLayer, core.PriorityCriticalPath, core.PriorityRandom:
+	default:
+		return fmt.Errorf("runner: unknown priority policy %d", int(c.Priority))
+	}
+	if c.LinkBytesPerSec < 0 {
+		return fmt.Errorf("runner: negative link rate %v", c.LinkBytesPerSec)
+	}
+	switch c.Pipeline {
+	case PipelineAuto, PipelineOn, PipelineOff:
+	default:
+		return fmt.Errorf("runner: unknown pipeline mode %d", int(c.Pipeline))
+	}
+	if c.PipelineWindow < 0 {
+		return fmt.Errorf("runner: negative pipeline window %d", c.PipelineWindow)
+	}
+	if c.Pipeline == PipelineOff && c.FuseTheta > 0 {
+		return fmt.Errorf("runner: pipelining off holds every task to the pass boundary, which defeats the fusion buffer's streaming buckets; drop -fuse-theta or -pipeline off")
+	}
 	if err := validateShape(c.Shape); err != nil {
 		return err
 	}
@@ -198,8 +315,13 @@ func (c LiveConfig) Validate() error {
 // this with global readiness negotiation, e.g. Horovod's coordinator).
 // FIFO-style policies (no Priority) stream safely: arrival order is
 // emission order, identical on every peer.
+//
+// Coordination does not require giving up pipelining: PipelineOn swaps the
+// atomic pass-end release for a core.StreamReleaser, which computes the
+// same kind of agreed total order incrementally (see liveWorker).
 func (c LiveConfig) coordinated() bool {
-	return c.Backend == LiveBackendRing && c.Policy.Priority != nil && c.Policy.CreditBytes > 0
+	prioritized := c.Policy.Priority != nil || c.Priority != core.PriorityDefault
+	return c.Backend == LiveBackendRing && prioritized && c.Policy.CreditBytes > 0
 }
 
 // LiveResult summarizes a live run.
@@ -250,6 +372,12 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return LiveResult{}, err
 	}
+	// Materialize the priority strategy once: every worker (and the
+	// coordinated release's agreed order) must use the same rank table.
+	ranks, err := cfg.priorityRanks()
+	if err != nil {
+		return LiveResult{}, err
+	}
 	transports, teardown, err := buildLiveTransports(cfg)
 	if err != nil {
 		return LiveResult{}, err
@@ -285,7 +413,7 @@ func RunLive(cfg LiveConfig) (LiveResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			stats[r], errs[r] = liveWorker(cfg, r, transports[r], ctrl, starts)
+			stats[r], errs[r] = liveWorker(cfg, r, ranks, transports[r], ctrl, starts)
 		}()
 	}
 	wg.Wait()
@@ -466,9 +594,10 @@ func buildPSTransports(cfg LiveConfig) ([]liveTransport, func(), error) {
 // (core.Task.Meta): the buffers a fused transmit gathers from and
 // scatters back into.
 type liveGrad struct {
-	iter uint32
-	grad []float32
-	out  []float32
+	iter  uint32
+	layer int
+	grad  []float32
+	out   []float32
 }
 
 // fusedComm builds the core.FuseStartFn for one worker: it gathers the
@@ -531,9 +660,40 @@ func fusedComm(comm liveComm) core.FuseStartFn {
 // finish under the old config, and the controller's per-iteration pinning
 // keeps partition counts — which the transport keys embed — identical
 // across workers.
-func liveWorker(cfg LiveConfig, rank int, tr liveTransport, ctrl *autotune.Controller, starts []time.Time) (core.Stats, error) {
+func liveWorker(cfg LiveConfig, rank int, ranks []int64, tr liveTransport, ctrl *autotune.Controller, starts []time.Time) (core.Stats, error) {
 	layers := len(cfg.LayerBytes)
-	sched := core.NewAsync(cfg.Policy)
+	// Release discipline (see PipelineMode): coordinated runs either hold
+	// each pass and release it atomically (the pre-existing safe protocol)
+	// or, with PipelineOn, stream through a bounded agreed-order window;
+	// uncoordinated runs stream through the fuser unless PipelineOff holds
+	// them to the pass boundary.
+	coordinated := cfg.coordinated()
+	stream := coordinated && cfg.Pipeline == PipelineOn
+	passEnd := (coordinated && !stream) || cfg.Pipeline == PipelineOff
+	rankOf := func(l int) int {
+		if ranks == nil {
+			return l
+		}
+		return int(ranks[l])
+	}
+	// releaseOrder is the pass-boundary release sequence, best rank first.
+	// Coordinated peers must issue their NotifyReady calls in the agreed
+	// (stamped) order — admission can start at the first call.
+	releaseOrder := make([]int, layers)
+	for i := range releaseOrder {
+		releaseOrder[i] = i
+	}
+	sort.Slice(releaseOrder, func(a, b int) bool { return rankOf(releaseOrder[a]) < rankOf(releaseOrder[b]) })
+
+	pol := cfg.Policy
+	if coordinated {
+		// The runner stamps the agreed rank into Tensor.Layer; the policy
+		// must read the stamp verbatim, not re-map it through a rank table.
+		pol.Priority = core.LayerPriority
+	} else if ranks != nil {
+		pol.Priority = core.RankPriority(ranks)
+	}
+	sched := core.NewAsync(pol)
 	defer sched.Shutdown()
 	if cfg.Metrics != nil && rank == 0 {
 		sched.Instrument(cfg.Metrics)
@@ -550,6 +710,25 @@ func liveWorker(cfg LiveConfig, rank int, tr liveTransport, ctrl *autotune.Contr
 		return core.Stats{}, err
 	}
 	defer fuser.Close()
+	var releaser *core.StreamReleaser
+	if stream {
+		window := cfg.PipelineWindow
+		if window == 0 {
+			window = (layers + 1) / 2
+		}
+		releaser, err = core.NewStreamReleaser(window,
+			func(t *core.Task) int64 { return int64(rankOf(t.Meta.(*liveGrad).layer)) },
+			func(t *core.Task, agreed int64) error {
+				// The stamp is strictly increasing across passes, so peers
+				// skewed into different iterations still admit the two
+				// in-flight passes' partitions in one agreed total order.
+				t.Tensor.Layer = int(agreed)
+				return sched.NotifyReady(t)
+			})
+		if err != nil {
+			return core.Stats{}, err
+		}
+	}
 
 	grads := make([][]float32, layers)
 	outs := make([][]float32, layers)
@@ -593,13 +772,15 @@ func liveWorker(cfg LiveConfig, rank int, tr liveTransport, ctrl *autotune.Contr
 			}
 		}
 		// Backward: gradients become ready back-to-front. Coordinated runs
-		// (see LiveConfig.coordinated) hold the ready notifications until
-		// the pass completes, then release the whole set front-to-back:
-		// every peer then admits partitions in the identical total order
-		// — (iteration, layer) lexicographic, via the iteration-offset
-		// priority below — which is what makes credit-gated priority
-		// scheduling deadlock-free over blocking collectives.
-		coordinated := cfg.coordinated()
+		// (see LiveConfig.coordinated) either hold the ready notifications
+		// until the pass completes and release the whole set best-rank
+		// first — every peer then admits partitions in the identical total
+		// order, (iteration, rank) lexicographic via the iteration-offset
+		// priority below, which is what makes credit-gated priority
+		// scheduling deadlock-free over blocking collectives — or, with
+		// PipelineOn, feed the releaser, whose bounded window computes the
+		// same kind of agreed order incrementally so transfers start
+		// mid-pass.
 		batch := make([]*core.Task, layers)
 		for l := layers - 1; l >= 0; l-- {
 			if cfg.BackwardCompute > 0 {
@@ -609,12 +790,13 @@ func liveWorker(cfg LiveConfig, rank int, tr liveTransport, ctrl *autotune.Contr
 			iter := uint32(it)
 			grad, out := grads[l], outs[l]
 			prio := l
-			if coordinated {
+			if coordinated && !stream {
 				// Monotone across iterations so a new pass's front layer
 				// never preempts the previous pass's unfinished tail —
 				// peers must agree on the total order, and the previous
-				// tail is exactly where a lagging peer still is.
-				prio = it*layers + l
+				// tail is exactly where a lagging peer still is. (In
+				// stream mode the releaser stamps its own monotone rank.)
+				prio = it*layers + rankOf(l)
 			}
 			// Split-phase bookkeeping (PS path): when the transport calls
 			// sent(), the sub's credit is returned immediately (doneFn(nil))
@@ -629,7 +811,7 @@ func liveWorker(cfg LiveConfig, rank int, tr liveTransport, ctrl *autotune.Contr
 			split := false
 			t := &core.Task{
 				Tensor: tensor.Tensor{Layer: prio, Name: "g", Bytes: cfg.LayerBytes[l]},
-				Meta:   &liveGrad{iter: iter, grad: grad, out: out},
+				Meta:   &liveGrad{iter: iter, layer: l, grad: grad, out: out},
 			}
 			t.StartErr = func(sub tensor.Sub, doneFn func(error)) {
 				lo := sub.Offset / 4
@@ -677,30 +859,50 @@ func liveWorker(cfg LiveConfig, rank int, tr liveTransport, ctrl *autotune.Contr
 					done[l] <- nil
 				}
 			}
-			if coordinated {
+			switch {
+			case stream:
+				// Coordinated streaming: the releaser decides when this
+				// task's NotifyReady fires and what agreed rank it carries.
+				if err := sched.Enqueue(t); err != nil {
+					return sched.Stats(), err
+				}
+				if err := releaser.Emit(t); err != nil {
+					return sched.Stats(), err
+				}
+			case passEnd:
 				if err := sched.Enqueue(t); err != nil {
 					return sched.Stats(), err
 				}
 				batch[l] = t
-				continue
-			}
-			// The Fuser is the submission point: it forwards tensors >=
-			// Theta untouched and buckets smaller ones; with fusion
-			// disabled it degenerates to Enqueue+NotifyReady.
-			if err := fuser.Add(t); err != nil {
-				return sched.Stats(), err
+			default:
+				// The Fuser is the submission point: it forwards tensors >=
+				// Theta untouched and buckets smaller ones; with fusion
+				// disabled it degenerates to Enqueue+NotifyReady.
+				if err := fuser.Add(t); err != nil {
+					return sched.Stats(), err
+				}
 			}
 		}
-		if coordinated {
-			for l := 0; l < layers; l++ {
+		switch {
+		case stream:
+			// Drain the lookahead window at the pass boundary so it never
+			// straddles the forward pass — the flush is part of the
+			// deterministic sequence every peer shares.
+			if err := releaser.Flush(); err != nil {
+				return sched.Stats(), err
+			}
+		case passEnd:
+			for _, l := range releaseOrder {
 				if err := sched.NotifyReady(batch[l]); err != nil {
 					return sched.Stats(), err
 				}
 			}
-		} else if err := fuser.Flush(); err != nil {
-			// Pass-boundary flush: the tail bucket goes out now, at the
-			// same deterministic point on every worker.
-			return sched.Stats(), err
+		default:
+			if err := fuser.Flush(); err != nil {
+				// Pass-boundary flush: the tail bucket goes out now, at the
+				// same deterministic point on every worker.
+				return sched.Stats(), err
+			}
 		}
 	}
 	// Drain the final iteration's synchronization.

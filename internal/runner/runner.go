@@ -86,6 +86,13 @@ type Config struct {
 	// dependencies replace the global barrier on TensorFlow/PyTorch.
 	// Vanilla baselines leave it false.
 	Scheduled bool
+	// Priority, when not PriorityDefault, derives the scheduling order
+	// from the engine's DAG timing analysis (layer index, TicTac-style
+	// critical path, or a seeded random permutation for ablation) and
+	// overrides Policy.Priority with the resulting rank table. The profile
+	// is taken after compression, so the critical path sees the bytes the
+	// wire actually moves.
+	Priority core.PriorityPolicy
 	// Async selects asynchronous PS training (ignored for all-reduce).
 	Async bool
 	// Collective selects the all-reduce algorithm (ring by default;
@@ -249,6 +256,17 @@ func build(cfg Config, engCfg engine.Config) (*instance, error) {
 		cfg.Model = compressed
 		engCfg.Model = cfg.Model
 		engCfg.LocalAggSecPerByte += cfg.Compression.CodecSecPerByte()
+	}
+	if cfg.Priority != core.PriorityDefault {
+		// Materialize the priority strategy once per run: ranks come from
+		// the (post-compression) DAG profile at the configured link rate,
+		// so every simulated worker schedules by the same table.
+		prof := engine.Profile(cfg.Model)
+		ranks, err := cfg.Priority.Ranks(prof.DAGTimings(cfg.BandwidthGbps*1e9/8), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Policy.Priority = core.RankPriority(ranks)
 	}
 	se := sim.New()
 	machines := cfg.Machines()

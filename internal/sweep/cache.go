@@ -94,7 +94,7 @@ func Key(cfg runner.Config) (string, bool) {
 	t := cfg.Transport
 	w("tp=%s,%g,%g,%g,%g,%g,%g,%g,%g|", t.Name, t.MsgOverhead, t.PipelinedOverhead,
 		t.AckDelay, t.Efficiency, t.CollectiveLaunch, t.HopLatency, t.MaxGoodputGbps, t.CollectiveMaxGbps)
-	w("pol=%s,%d,%d,%d,%d|", p.Name, p.PartitionUnit, p.CreditBytes, p.MaxRetries, prio)
+	w("pol=%s,%d,%d,%d,%d,%d|", p.Name, p.PartitionUnit, p.CreditBytes, p.MaxRetries, prio, int(cfg.Priority))
 	if cfg.Assignment != nil {
 		w("assign=%d|", int(*cfg.Assignment))
 	}

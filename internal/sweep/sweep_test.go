@@ -174,6 +174,8 @@ func TestKeyDistinguishesConfigs(t *testing.T) {
 		func(c *runner.Config) { c.Arch = runner.AllReduce },
 		func(c *runner.Config) { c.Scheduled = true },
 		func(c *runner.Config) { c.Policy = core.ByteScheduler(4<<20, 16<<20) },
+		func(c *runner.Config) { c.Priority = core.PriorityCriticalPath },
+		func(c *runner.Config) { c.Priority = core.PriorityRandom },
 		func(c *runner.Config) { c.Model = model.ResNet50() },
 		func(c *runner.Config) { c.Iterations = 4 },
 		func(c *runner.Config) { c.Transport = network.RDMA() },
