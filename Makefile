@@ -2,7 +2,7 @@ GO ?= go
 STATICCHECK ?= staticcheck
 FUZZTIME ?= 20s
 
-.PHONY: build vet staticcheck test race fuzz docs verify bench bench-json bench-ps bench-priority
+.PHONY: build vet staticcheck test race fuzz docs verify bench bench-json bench-ps bench-priority bench-cluster
 
 build:
 	$(GO) build ./...
@@ -80,3 +80,11 @@ bench-priority:
 # goroutines.
 bench-ps:
 	$(GO) run ./cmd/benchsuite -ps-bench -json BENCH_PR6.json
+
+# bench-cluster regenerates the committed multi-job scheduling snapshot
+# (BENCH_PR10.json): EXT-CLUSTER at full scale — 400 heterogeneous jobs,
+# millions of tensor transfers — comparing FIFO/uniform admission and
+# sharing against fair-share + delay-aware placement, with a serial
+# reference pass verifying the parallel run is bitwise-identical.
+bench-cluster:
+	$(GO) run ./cmd/benchsuite -run EXT-CLUSTER -full -measure-serial -json BENCH_PR10.json

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"bytescheduler/internal/cluster"
+	"bytescheduler/internal/metrics"
+	"bytescheduler/internal/runner"
+	"bytescheduler/internal/trace"
+)
+
+// runCluster executes the -cluster mode: the same deterministic job
+// population runs once under the FIFO/uniform baseline and once under
+// fair-share + delay-aware scheduling, and the two reports are printed
+// side by side. -metrics/-gantt/-chrome-trace observe the fair arm.
+func runCluster(o options) error {
+	sc := cluster.Scenario{
+		Jobs:             o.ClusterJobs,
+		Nodes:            o.ClusterNodes,
+		SlotsPerNode:     o.ClusterSlots,
+		LinkGbps:         o.BW,
+		MaxDelayMs:       o.ClusterDelayMs,
+		CreditPool:       o.ClusterCredits,
+		ArrivalWindowSec: o.ClusterWindow,
+		Seed:             o.Seed,
+	}
+	if err := sc.Validate(); err != nil {
+		return err
+	}
+
+	baseSc := sc
+	baseRes, err := runner.Run(runner.Config{Cluster: &baseSc})
+	if err != nil {
+		return err
+	}
+	base := *baseRes.Cluster
+
+	fairSc := sc
+	fairSc.Fair = true
+	fairCfg := runner.Config{Cluster: &fairSc}
+	var rec *trace.Recorder
+	if o.Gantt || o.ChromeOut != "" {
+		rec = trace.New()
+		fairCfg.Trace = rec
+	}
+	var reg *metrics.Registry
+	if o.Metrics || o.HTTP != "" {
+		reg = metrics.NewRegistry()
+		fairCfg.Metrics = reg
+	}
+	fairRes, err := runner.Run(fairCfg)
+	if err != nil {
+		return err
+	}
+	fair := *fairRes.Cluster
+
+	fmt.Printf("cluster: %d jobs (%.1fM tensor transfers) on %d nodes x%d slots, %.0fG links, %.0fs arrival window\n",
+		base.Jobs, float64(base.TotalTensors)/1e6, sc.Nodes, sc.SlotsPerNode, sc.LinkGbps, sc.ArrivalWindowSec)
+	fmt.Printf("  %-18s  %10s  %10s  %10s  %10s  %10s  %5s\n",
+		"arm", "jct_mean_s", "jct_p50_s", "jct_p95_s", "queue_s", "makespan_s", "util")
+	for _, a := range []struct {
+		label string
+		r     cluster.Report
+	}{{"fifo/uniform", base}, {"fair/delay-aware", fair}} {
+		fmt.Printf("  %-18s  %10.1f  %10.1f  %10.1f  %10.1f  %10.1f  %4.0f%%\n",
+			a.label, a.r.JCTMeanSec, a.r.JCTP50Sec, a.r.JCTP95Sec,
+			a.r.QueueMeanSec, a.r.MakespanSec, a.r.UtilizationPct)
+	}
+	fmt.Printf("  p95 JCT:   %+.1f%%   mean JCT: %+.1f%%\n",
+		(fair.JCTP95Sec-base.JCTP95Sec)/base.JCTP95Sec*100,
+		(fair.JCTMeanSec-base.JCTMeanSec)/base.JCTMeanSec*100)
+
+	if o.Gantt {
+		fmt.Println()
+		fmt.Print(rec.Gantt(100))
+	}
+	if o.ChromeOut != "" {
+		f, err := os.Create(o.ChromeOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteChromeTrace(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", o.ChromeOut)
+	}
+	if o.Metrics {
+		fmt.Println()
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
+	if o.HTTP != "" {
+		return serveMetrics(o, reg)
+	}
+	return nil
+}

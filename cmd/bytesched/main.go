@@ -69,6 +69,16 @@ type options struct {
 	// address after the run completes (blocking until interrupted), so a
 	// scraper or profiler can inspect the finished run.
 	HTTP string
+	// Cluster switches from a single training job to a multi-job cluster
+	// scenario (internal/cluster): both the FIFO/uniform baseline and the
+	// fair-share + delay-aware arm run on the same job population and the
+	// comparison is printed. -metrics/-gantt/-chrome-trace attach to the
+	// fair arm. ClusterJobs etc. size the scenario; -bw is the per-node
+	// link rate and -seed drives job generation.
+	Cluster                                 bool
+	ClusterJobs, ClusterNodes, ClusterSlots int
+	ClusterDelayMs, ClusterWindow           float64
+	ClusterCredits                          int64
 	// Backend, when non-empty, runs a *live* training loop over real
 	// loopback TCP sockets instead of the simulator: "ps" (netps parameter
 	// server) or "ring" (netar segmented ring all-reduce).
@@ -127,6 +137,17 @@ func main() {
 	flag.StringVar(&o.ChromeOut, "chrome-trace", "", "write a Chrome trace JSON to this file")
 	flag.BoolVar(&o.Metrics, "metrics", false, "print run metrics in Prometheus text format")
 	flag.StringVar(&o.HTTP, "http", "", "serve /metrics and /debug/pprof at this address after the run")
+	flag.BoolVar(&o.Cluster, "cluster", false,
+		"run a multi-job cluster scenario: FIFO/uniform baseline vs fair-share + delay-aware placement")
+	flag.IntVar(&o.ClusterJobs, "cluster-jobs", 240, "cluster scenario job count (with -cluster)")
+	flag.IntVar(&o.ClusterNodes, "cluster-nodes", 16, "cluster node count (with -cluster)")
+	flag.IntVar(&o.ClusterSlots, "cluster-slots", 4, "worker slots per node (with -cluster)")
+	flag.Float64Var(&o.ClusterDelayMs, "cluster-delay-ms", 2,
+		"max per-node network delay in ms, ramped across nodes (with -cluster)")
+	flag.Int64Var(&o.ClusterCredits, "cluster-credits", 512,
+		"cluster-wide credit pool in in-flight tensors (with -cluster)")
+	flag.Float64Var(&o.ClusterWindow, "cluster-window", 60,
+		"job arrival window in seconds (with -cluster)")
 	flag.StringVar(&o.Backend, "backend", "", "live transport over real TCP instead of simulation: ps or ring")
 	flag.IntVar(&o.LiveWorkers, "live-workers", 3, "live worker count (with -backend)")
 	flag.StringVar(&o.LiveLayers, "live-layers", "64,128,256,256,512,512",
@@ -159,6 +180,9 @@ func main() {
 func run(o options) error {
 	if o.Backend != "" {
 		return runLive(o)
+	}
+	if o.Cluster {
+		return runCluster(o)
 	}
 	m, err := model.ByName(o.Model)
 	if err != nil {

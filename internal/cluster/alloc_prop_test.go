@@ -1,0 +1,176 @@
+// Property suite for the weighted max-min fair allocator (FairShare): 200
+// seeded randomized trials, each checking the three invariants the cluster
+// layer leans on. Trial seeds are deterministic and logged in every failure
+// message, so a red run reproduces exactly with the printed seed.
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const propTrials = 200
+
+// propSeed derives the deterministic per-trial seed. Keeping it a function
+// of the trial index (not wall clock) makes the suite bit-stable in CI.
+func propSeed(trial int) int64 { return 0xC1057E8 + int64(trial)*0x9E3779B9 }
+
+// randomInstance draws one allocation problem: 2..25 claimants, weights in
+// [0.5, 8] (the cluster's job-weight spread), caps mixing unbounded (-1)
+// and binding values, and a capacity from starved to saturating.
+func randomInstance(rng *rand.Rand) (capacity int64, weights []float64, caps []int64) {
+	n := 2 + rng.Intn(24)
+	weights = make([]float64, n)
+	caps = make([]int64, n)
+	for i := range weights {
+		weights[i] = 0.5 + rng.Float64()*7.5
+		if rng.Intn(2) == 0 {
+			caps[i] = -1
+		} else {
+			caps[i] = rng.Int63n(60)
+		}
+	}
+	capacity = rng.Int63n(400)
+	return capacity, weights, caps
+}
+
+func floatCaps(caps []int64) []float64 {
+	out := make([]float64, len(caps))
+	for i, c := range caps {
+		out[i] = float64(c) // -1 stays negative: unbounded in both forms
+	}
+	return out
+}
+
+func TestFairShareProperties(t *testing.T) {
+	for trial := 0; trial < propTrials; trial++ {
+		seed := propSeed(trial)
+		rng := rand.New(rand.NewSource(seed))
+		capacity, weights, caps := randomInstance(rng)
+		alloc := FairShare(capacity, weights, caps)
+
+		// Invariant 1 — work conservation: every unit that can be used is
+		// used, exactly. The allocator never grants past a cap and never
+		// strands capacity while someone is unsaturated.
+		var total, capSum int64
+		capped := true
+		for i, a := range alloc {
+			if a < 0 {
+				t.Fatalf("seed %#x: negative grant %d to claimant %d", seed, a, i)
+			}
+			if caps[i] >= 0 && a > caps[i] {
+				t.Fatalf("seed %#x: claimant %d granted %d over cap %d", seed, i, a, caps[i])
+			}
+			total += a
+			if caps[i] < 0 {
+				capped = false
+			} else {
+				capSum += caps[i]
+			}
+		}
+		want := capacity
+		if capped && capSum < capacity {
+			want = capSum
+		}
+		if total != want {
+			t.Fatalf("seed %#x: allocated %d of %d usable units (capacity %d, caps %v)",
+				seed, total, want, capacity, caps)
+		}
+
+		// Invariant 2 — within one unit of the exact weighted water-fill:
+		// discretization never moves any claimant more than one unit away
+		// from its continuous max-min share.
+		exact := ExactShares(float64(capacity), weights, floatCaps(caps))
+		for i := range alloc {
+			if d := math.Abs(float64(alloc[i]) - exact[i]); d > 1+1e-9 {
+				t.Fatalf("seed %#x: claimant %d granted %d, exact share %.4f (off by %.4f; weights %v caps %v capacity %d)",
+					seed, i, alloc[i], exact[i], d, weights, caps, capacity)
+			}
+		}
+
+		// Invariant 3 — monotone under departure: when one claimant leaves
+		// and the allocation re-runs at the same capacity, no survivor
+		// loses units. (This is the property uniform re-splits violate:
+		// remainder juggling can take a unit away from a survivor.)
+		leaver := rng.Intn(len(weights))
+		sw := append(append([]float64{}, weights[:leaver]...), weights[leaver+1:]...)
+		sc := append(append([]int64{}, caps[:leaver]...), caps[leaver+1:]...)
+		after := FairShare(capacity, sw, sc)
+		for i, a := range after {
+			before := i
+			if i >= leaver {
+				before = i + 1
+			}
+			if a < alloc[before] {
+				t.Fatalf("seed %#x: claimant %d shrank %d -> %d after claimant %d departed (weights %v caps %v capacity %d)",
+					seed, before, alloc[before], a, leaver, weights, caps, capacity)
+			}
+		}
+	}
+}
+
+// TestFairShareHandChecked pins small hand-verifiable cases so a property
+// regression localizes without replaying random instances.
+func TestFairShareHandChecked(t *testing.T) {
+	cases := []struct {
+		capacity int64
+		weights  []float64
+		caps     []int64
+		want     []int64
+	}{
+		// Proportional split, no caps.
+		{4, []float64{3, 1}, []int64{-1, -1}, []int64{3, 1}},
+		// Heavy weight takes everything a tiny pool offers.
+		{6, []float64{10, 1, 1}, []int64{-1, -1, -1}, []int64{5, 1, 0}},
+		// Cap redistributes to the unsaturated claimant.
+		{10, []float64{1, 1}, []int64{2, -1}, []int64{2, 8}},
+		// Pool larger than all caps: leftovers stay free.
+		{10, []float64{1, 1}, []int64{3, 4}, []int64{3, 4}},
+		// Zero capacity.
+		{0, []float64{1, 2}, []int64{-1, -1}, []int64{0, 0}},
+	}
+	for i, c := range cases {
+		got := FairShare(c.capacity, c.weights, c.caps)
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Errorf("case %d: FairShare(%d, %v, %v) = %v, want %v",
+					i, c.capacity, c.weights, c.caps, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestExactSharesWaterFill(t *testing.T) {
+	got := ExactShares(10, []float64{1, 1, 2}, []float64{1, -1, -1})
+	// Claimant 0 caps at 1; the remaining 9 split 1:2 across the others.
+	want := []float64{1, 3, 6}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("ExactShares = %v, want %v", got, want)
+		}
+	}
+	// Capacity below all caps: pure proportional split.
+	got = ExactShares(4, []float64{1, 3}, []float64{-1, -1})
+	if math.Abs(got[0]-1) > 1e-9 || math.Abs(got[1]-3) > 1e-9 {
+		t.Fatalf("uncapped ExactShares = %v, want [1 3]", got)
+	}
+}
+
+func TestAllocPanics(t *testing.T) {
+	mustPanic(t, "weight/cap mismatch", func() { FairShare(1, []float64{1}, nil) })
+	mustPanic(t, "zero weight", func() { FairShare(1, []float64{0}, []int64{-1}) })
+	mustPanic(t, "exact mismatch", func() { ExactShares(1, []float64{1}, nil) })
+	mustPanic(t, "exact zero weight", func() { ExactShares(1, []float64{0}, []float64{-1}) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}

@@ -1,0 +1,285 @@
+package cluster
+
+import (
+	"testing"
+
+	"bytescheduler/internal/ps"
+)
+
+func testConfig() Config {
+	return Config{
+		Nodes:           4,
+		SlotsPerNode:    2,
+		LinkBytesPerSec: 1e9,
+		DelaySec:        []float64{0, 0.001, 0.002, 0.003},
+		CreditPool:      64,
+		Admission:       AdmitBackfill,
+		Placement:       ps.StrategyDelayAware,
+		FairCredits:     true,
+	}
+}
+
+func job(id, workers int, weight float64, tensors, bytes int64) Job {
+	return Job{
+		ID: id, Model: "m", Weight: weight, Workers: workers,
+		TensorsPerIter: tensors, BytesPerIter: bytes,
+		FloorSec: 0.01, Iterations: 10,
+	}
+}
+
+func mustSubmit(t *testing.T, c *Cluster, j Job) bool {
+	t.Helper()
+	admitted, err := c.Submit(j)
+	if err != nil {
+		t.Fatalf("Submit(%d): %v", j.ID, err)
+	}
+	return admitted
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.SlotsPerNode = 0 },
+		func(c *Config) { c.LinkBytesPerSec = 0 },
+		func(c *Config) { c.DelaySec = []float64{1} },
+		func(c *Config) { c.DelaySec = []float64{0, 0, 0, -1} },
+		func(c *Config) { c.CreditPool = 0 },
+		func(c *Config) { c.Placement = ps.StrategyHashRing },
+		func(c *Config) { c.Admission = Admission(9) },
+	}
+	for i, mutate := range bad {
+		cfg := testConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+	if err := testConfig().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	bad := []func(*Job){
+		func(j *Job) { j.ID = -1 },
+		func(j *Job) { j.Weight = 0 },
+		func(j *Job) { j.Workers = 0 },
+		func(j *Job) { j.TensorsPerIter = 0 },
+		func(j *Job) { j.BytesPerIter = 0 },
+		func(j *Job) { j.Iterations = 0 },
+		func(j *Job) { j.FloorSec = -1 },
+	}
+	for i, mutate := range bad {
+		j := job(1, 1, 1, 4, 1<<20)
+		mutate(&j)
+		if err := j.Validate(); err == nil {
+			t.Errorf("case %d: invalid job accepted: %+v", i, j)
+		}
+	}
+}
+
+// TestAdmissionBackfillVsFIFO pins the head-of-line difference: with 8
+// slots taken down to 1 free, a 4-worker head blocks a 1-worker follower
+// under FIFO but not under backfill.
+func TestAdmissionBackfillVsFIFO(t *testing.T) {
+	for _, fifo := range []bool{true, false} {
+		cfg := testConfig()
+		if fifo {
+			cfg.Admission = AdmitFIFO
+		}
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !mustSubmit(t, c, job(1, 7, 1, 4, 1<<20)) {
+			t.Fatal("7-worker job not admitted into empty 8-slot cluster")
+		}
+		if mustSubmit(t, c, job(2, 4, 1, 4, 1<<20)) {
+			t.Fatal("4-worker job admitted with 1 free slot")
+		}
+		gotSmall := mustSubmit(t, c, job(3, 1, 1, 4, 1<<20))
+		if fifo && gotSmall {
+			t.Fatal("FIFO admitted past a blocked head")
+		}
+		if !fifo && !gotSmall {
+			t.Fatal("backfill did not admit around the blocked head")
+		}
+		// Retiring the big job unblocks the queue in arrival order.
+		if err := c.Finish(1); err != nil {
+			t.Fatal(err)
+		}
+		running := c.Running()
+		if len(running) != 2 || running[0] != 2 || running[1] != 3 {
+			t.Fatalf("running after finish = %v, want [2 3]", running)
+		}
+		if c.QueueLen() != 0 {
+			t.Fatalf("queue not drained: %d", c.QueueLen())
+		}
+	}
+}
+
+// TestPlacementDelayAware pins job→node generalization of the delay-aware
+// score: an empty cluster's first worker lands on the zero-delay node, and
+// subsequent equal-size workers spread toward higher-delay nodes only as
+// load accumulates.
+func TestPlacementDelayAware(t *testing.T) {
+	cfg := testConfig()
+	// 1 GB/s link, 10 MB per worker => 10 ms queueing per placed worker;
+	// delays 0,1,2,3 ms. Workers should fill near nodes first.
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSubmit(t, c, job(1, 4, 1, 4, 10<<20))
+	nodes, ok := c.Placement(1)
+	if !ok {
+		t.Fatal("placement missing")
+	}
+	// Scores walk: n0 (10ms), n1 (10+1 beats 20+0? 11 vs 20 -> n1), then
+	// n2 (12), then n3 (13).
+	want := []int{0, 1, 2, 3}
+	for i, n := range nodes {
+		if n != want[i] {
+			t.Fatalf("delay-aware placement = %v, want %v", nodes, want)
+		}
+	}
+	// Teardown releases live load: a new identical job repeats the walk.
+	if err := c.Finish(1); err != nil {
+		t.Fatal(err)
+	}
+	load := c.NodeLoad()
+	for n, b := range load {
+		if b != 0 {
+			t.Fatalf("node %d still loaded with %d bytes after teardown", n, b)
+		}
+	}
+	mustSubmit(t, c, job(2, 4, 1, 4, 10<<20))
+	nodes, _ = c.Placement(2)
+	for i, n := range nodes {
+		if n != want[i] {
+			t.Fatalf("placement after teardown = %v, want %v", nodes, want)
+		}
+	}
+}
+
+// TestPlacementRoundRobinSkipsFullNodes pins the baseline placer: the
+// cursor rotates in node order but never lands on a node without free
+// slots.
+func TestPlacementRoundRobinSkipsFullNodes(t *testing.T) {
+	cfg := testConfig()
+	cfg.Admission = AdmitFIFO
+	cfg.Placement = ps.StrategyRoundRobin
+	cfg.FairCredits = false
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSubmit(t, c, job(1, 2, 1, 4, 1<<20))
+	if nodes, _ := c.Placement(1); nodes[0] != 0 || nodes[1] != 1 {
+		t.Fatalf("first job placed on %v, want [0 1]", nodes)
+	}
+	// 6 workers over free slots n0:1 n1:1 n2:2 n3:2, cursor at 2: the
+	// second rotation must skip the now-full nodes 0 and 1.
+	mustSubmit(t, c, job(2, 6, 1, 4, 1<<20))
+	if nodes, _ := c.Placement(2); !equalInts(nodes, []int{2, 3, 0, 1, 2, 3}) {
+		t.Fatalf("second job placed on %v, want [2 3 0 1 2 3]", nodes)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCreditRebalance pins contention-aware credit allocation: grants
+// follow weights, are capped by a job's tensor appetite with the excess
+// flowing to jobs that can use it, and the ledger tracks membership.
+func TestCreditRebalance(t *testing.T) {
+	cfg := testConfig() // pool 64, fair credits
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 1: weight 1 but only 4 tensors x 1 worker -> cap 4.
+	// Job 2: weight 1, 1000 tensors -> absorbs the freed credit.
+	mustSubmit(t, c, job(1, 1, 1, 4, 1<<20))
+	mustSubmit(t, c, job(2, 1, 1, 1000, 1<<20))
+	c1, _ := c.Credit(1)
+	c2, _ := c.Credit(2)
+	if c1 != 4 {
+		t.Fatalf("capped job granted %d credits, want its tensor cap 4", c1)
+	}
+	if c2 != 60 {
+		t.Fatalf("unsaturated job granted %d credits, want the remaining 60", c2)
+	}
+	if g := c.CreditGranted(); g != 64 {
+		t.Fatalf("ledger %d, want the full pool 64", g)
+	}
+	// Departure returns the grant and rebalances survivors.
+	if err := c.Finish(2); err != nil {
+		t.Fatal(err)
+	}
+	c1, _ = c.Credit(1)
+	if c1 != 4 {
+		t.Fatalf("survivor grant %d after departure, want 4 (cap-bound)", c1)
+	}
+	if g := c.CreditGranted(); g != 4 {
+		t.Fatalf("ledger %d after departure, want 4", g)
+	}
+	// Uniform baseline: pool/n each, remainder stranded, caps ignored.
+	cfg.FairCredits = false
+	c2u, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSubmit(t, c2u, job(1, 1, 1, 4, 1<<20))
+	mustSubmit(t, c2u, job(2, 1, 1, 1000, 1<<20))
+	mustSubmit(t, c2u, job(3, 1, 1, 1000, 1<<20))
+	for id := 1; id <= 3; id++ {
+		if got, _ := c2u.Credit(id); got != 64/3 {
+			t.Fatalf("uniform grant for job %d = %d, want %d", id, got, int64(64/3))
+		}
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	c, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(job(1, 9, 1, 4, 1<<20)); err == nil {
+		t.Fatal("job larger than the cluster accepted")
+	}
+	mustSubmit(t, c, job(1, 1, 1, 4, 1<<20))
+	if _, err := c.Submit(job(1, 1, 1, 4, 1<<20)); err == nil {
+		t.Fatal("duplicate running ID accepted")
+	}
+	mustSubmit(t, c, job(2, 8, 1, 4, 1<<20)) // queued (7 free)
+	if _, err := c.Submit(job(2, 1, 1, 4, 1<<20)); err == nil {
+		t.Fatal("duplicate queued ID accepted")
+	}
+	if err := c.Finish(99); err == nil {
+		t.Fatal("finishing unknown job accepted")
+	}
+	if err := c.Cancel(99); err == nil {
+		t.Fatal("cancelling unknown job accepted")
+	}
+	// Cancel dequeues the waiting job without touching the running one.
+	if err := c.Cancel(2); err != nil {
+		t.Fatal(err)
+	}
+	if c.QueueLen() != 0 || len(c.Running()) != 1 {
+		t.Fatalf("state after cancel: queue %d running %v", c.QueueLen(), c.Running())
+	}
+	st := c.Stats()
+	if st.Submitted != 2 || st.Admitted != 1 || st.Cancelled != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"bytescheduler/internal/ps"
+)
+
+// TestSoak256JobChurn hammers the control plane with 256 jobs churning
+// concurrently — submit, wait for admission, then finish or cancel — the
+// same barrier-release shape as netps's 256-client soak. Run under -race
+// (the CI cluster leg does) it doubles as the data-race check for the
+// shared admission queue, slot bookkeeping, placement load, and credit
+// ledger. The pinned invariant: job teardown never leaks credit — the
+// ledger never exceeds the pool while jobs churn, and drains to exactly
+// zero when the last job leaves.
+func TestSoak256JobChurn(t *testing.T) {
+	const jobsN = 256
+	cfg := Config{
+		Nodes:           8,
+		SlotsPerNode:    4,
+		LinkBytesPerSec: 1e9,
+		DelaySec:        []float64{0, 0.001, 0.001, 0.002, 0.002, 0.003, 0.003, 0.004},
+		CreditPool:      256,
+		Admission:       AdmitBackfill,
+		Placement:       ps.StrategyDelayAware,
+		FairCredits:     true,
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ready, done sync.WaitGroup
+	release := make(chan struct{})
+	errs := make(chan error, jobsN)
+	ready.Add(jobsN)
+	done.Add(jobsN)
+	for i := 0; i < jobsN; i++ {
+		go func(i int) {
+			defer done.Done()
+			ready.Done()
+			<-release
+			j := Job{
+				ID: i, Model: fmt.Sprintf("soak%d", i),
+				Weight:         float64(1 + i%4),
+				Workers:        1 + i%3,
+				TensorsPerIter: int64(8 + i%64),
+				BytesPerIter:   1 << 20,
+				FloorSec:       0.001,
+				Iterations:     4,
+			}
+			if _, err := c.Submit(j); err != nil {
+				errs <- fmt.Errorf("submit %d: %w", i, err)
+				return
+			}
+			// Mid-churn ledger invariant: grants never exceed the pool.
+			if g := c.CreditGranted(); g > cfg.CreditPool {
+				errs <- fmt.Errorf("job %d saw credit ledger %d over pool %d", i, g, cfg.CreditPool)
+				return
+			}
+			if i%5 == 0 {
+				// Cancel in whatever state the job is in (queued or
+				// running) — the teardown path credit leaks would hide in.
+				if err := c.Cancel(i); err != nil {
+					errs <- fmt.Errorf("cancel %d: %w", i, err)
+				}
+				return
+			}
+			// Wait out admission (32 slots, <=3 workers each: every job is
+			// eventually admitted as others retire), then finish.
+			for {
+				if _, running := c.Placement(i); running {
+					break
+				}
+				runtime.Gosched()
+			}
+			if err := c.Finish(i); err != nil {
+				errs <- fmt.Errorf("finish %d: %w", i, err)
+			}
+		}(i)
+	}
+	ready.Wait()
+	close(release)
+	done.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Fully drained: every resource the churn borrowed is back.
+	if running := c.Running(); len(running) != 0 {
+		t.Fatalf("jobs still running after churn: %v", running)
+	}
+	if q := c.QueueLen(); q != 0 {
+		t.Fatalf("%d jobs still queued after churn", q)
+	}
+	if free := c.FreeSlots(); free != cfg.Nodes*cfg.SlotsPerNode {
+		t.Fatalf("slots leaked: %d free, want %d", free, cfg.Nodes*cfg.SlotsPerNode)
+	}
+	if g := c.CreditGranted(); g != 0 {
+		t.Fatalf("credit leaked: ledger %d after full drain", g)
+	}
+	for n, b := range c.NodeLoad() {
+		if b != 0 {
+			t.Fatalf("placement load leaked: node %d holds %d bytes", n, b)
+		}
+	}
+	st := c.Stats()
+	if st.Submitted != jobsN || st.Finished+st.Cancelled != jobsN {
+		t.Fatalf("lifecycle mismatch: %+v (want %d submitted and %d finished+cancelled)",
+			st, jobsN, jobsN)
+	}
+}

@@ -67,11 +67,14 @@ func (p PriorityPolicy) String() string {
 
 // DAGTimings is the per-layer timing profile the critical-path policy
 // consumes: the engine's DAG analysis reduced to what the priority function
-// needs. FP[i] is layer i's forward compute time in seconds, LayerBytes[i]
-// its communication volume, and BytesPerSec the modeled link rate used to
-// convert bytes into transfer time on the critical path.
+// needs. FP[i] is layer i's forward compute time in seconds, BP[i] its
+// backward compute time (per-op profiled; nil means backward timing is
+// unknown and contributes nothing), LayerBytes[i] its communication volume,
+// and BytesPerSec the modeled link rate used to convert bytes into transfer
+// time on the critical path.
 type DAGTimings struct {
 	FP          []float64
+	BP          []float64
 	LayerBytes  []int64
 	BytesPerSec float64
 }
@@ -84,12 +87,18 @@ func (d DAGTimings) Validate() error {
 	if len(d.FP) != len(d.LayerBytes) {
 		return fmt.Errorf("core: DAG timing profile has %d FP entries but %d layer sizes", len(d.FP), len(d.LayerBytes))
 	}
+	if d.BP != nil && len(d.BP) != len(d.FP) {
+		return fmt.Errorf("core: DAG timing profile has %d FP entries but %d BP entries", len(d.FP), len(d.BP))
+	}
 	if d.BytesPerSec <= 0 {
 		return fmt.Errorf("core: non-positive link rate %v in DAG timing profile", d.BytesPerSec)
 	}
 	for i, fp := range d.FP {
 		if fp < 0 {
 			return fmt.Errorf("core: negative forward time %v for layer %d", fp, i)
+		}
+		if d.BP != nil && d.BP[i] < 0 {
+			return fmt.Errorf("core: negative backward time %v for layer %d", d.BP[i], i)
 		}
 		if d.LayerBytes[i] < 0 {
 			return fmt.Errorf("core: negative size %d for layer %d", d.LayerBytes[i], i)
@@ -99,20 +108,26 @@ func (d DAGTimings) Validate() error {
 }
 
 // CriticalPathRanks converts the timing profile into per-layer ranks
-// (rank 0 is scheduled first) by remaining critical-path length. Layer l's
-// pulled parameter is consumed by its forward op in the next iteration, so
-// the remaining path from the start of its transfer is
+// (rank 0 is scheduled first) by the length of the iteration's critical
+// path through each layer. The backward pass produces layer l's gradient
+// after processing layers n-1 down to l, the gradient then crosses the
+// wire, and the pulled parameter is consumed by layer l's forward op in the
+// next iteration, so the path through l is
 //
-//	R(l) = LayerBytes(l)/BytesPerSec + sum_{i >= l} FP(i)
+//	R(l) = sum_{i >= l} BP(i) + LayerBytes(l)/BytesPerSec + sum_{i >= l} FP(i)
 //
-// — the transfer itself, then every forward op from l to the loss (the
-// backward pass after the loss is a constant suffix shared by all layers,
-// so it cannot change the ordering and is omitted). Longest remaining path
-// first; ties break toward the lower layer index, which is also what the
-// formula degenerates to on a uniform profile. On a tail-heavy profile
-// (large tensors late in the DAG, e.g. classifier weights) the tail's
-// transfer term outweighs the short forward suffix and the tail outranks
-// front layers — the ordering TicTac finds and plain layer index misses.
+// — the backward segment that produces the gradient, the transfer itself,
+// then every forward op from l to the loss. Longest path first; ties break
+// toward the lower layer index, which is also what the formula degenerates
+// to on a uniform profile. On a tail-heavy profile (large tensors late in
+// the DAG, e.g. classifier weights) the tail's transfer term outweighs the
+// short forward suffix and the tail outranks front layers — the ordering
+// TicTac finds and plain layer index misses. Per-op BP timings pull the
+// other way: a gradient that surfaces late in the backward pass (heavy BP
+// below it) sits on a longer chain and regains urgency, which a uniform
+// backward-compute assumption — a constant per-layer shift — misses
+// entirely. With BP nil the backward segment contributes nothing and the
+// ranks reduce to the transfer + forward-suffix form.
 func (d DAGTimings) CriticalPathRanks() ([]int64, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
@@ -122,6 +137,9 @@ func (d DAGTimings) CriticalPathRanks() ([]int64, error) {
 	suffix := 0.0
 	for l := n - 1; l >= 0; l-- {
 		suffix += d.FP[l]
+		if d.BP != nil {
+			suffix += d.BP[l]
+		}
 		remaining[l] = float64(d.LayerBytes[l])/d.BytesPerSec + suffix
 	}
 	order := make([]int, n)
@@ -139,6 +157,31 @@ func (d DAGTimings) CriticalPathRanks() ([]int64, error) {
 		ranks[l] = int64(r)
 	}
 	return ranks, nil
+}
+
+// CriticalPathSec returns the length in seconds of the longest path through
+// any layer — max_l R(l) from CriticalPathRanks — which lower-bounds the
+// iteration time no scheduler can beat on this profile: the binding chain of
+// backward compute, one transfer, and forward compute must execute
+// serially. Cluster placement uses it as a job's per-iteration floor, so
+// per-op profiled BP timings (not a uniform backward-compute assumption)
+// shape where delay-sensitive jobs land.
+func (d DAGTimings) CriticalPathSec() (float64, error) {
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	longest := 0.0
+	suffix := 0.0
+	for l := len(d.FP) - 1; l >= 0; l-- {
+		suffix += d.FP[l]
+		if d.BP != nil {
+			suffix += d.BP[l]
+		}
+		if r := float64(d.LayerBytes[l])/d.BytesPerSec + suffix; r > longest {
+			longest = r
+		}
+	}
+	return longest, nil
 }
 
 // LayerRanks returns the identity rank table: rank(l) = l, the paper's

@@ -47,6 +47,92 @@ func TestDAGTimingsValidate(t *testing.T) {
 			t.Errorf("case %d: invalid timings accepted: %+v", i, d)
 		}
 	}
+	badBP := []DAGTimings{
+		{FP: []float64{1, 1}, BP: []float64{1}, LayerBytes: []int64{4, 4}, BytesPerSec: 1},
+		{FP: []float64{1, 1}, BP: []float64{1, -1}, LayerBytes: []int64{4, 4}, BytesPerSec: 1},
+	}
+	for i, d := range badBP {
+		if err := d.Validate(); err == nil {
+			t.Errorf("BP case %d: invalid timings accepted: %+v", i, d)
+		}
+	}
+}
+
+// TestCriticalPathPerOpBP is the regression test for the uniform
+// backward-compute assumption. The profile concentrates the backward cost
+// in the op that produces the tail layer's gradient (BP = [0,0,15]): the
+// tail both carries the fat tensor and sits under the slow backward op, so
+// the chain through it — 15s of backward, a 10s transfer, 1s of forward —
+// is the longest in the iteration and must outrank everything. A uniform
+// backward knob with the same total (5s per op) instead inflates the front
+// layer's suffix most and promotes layer 0 — the ordering this test would
+// have pinned before DAGTimings carried per-op BP. Both orders are
+// asserted so the divergence stays visible.
+func TestCriticalPathPerOpBP(t *testing.T) {
+	perOp := DAGTimings{
+		FP:          []float64{1, 1, 1},
+		BP:          []float64{0, 0, 15},
+		LayerBytes:  []int64{0, 0, 10},
+		BytesPerSec: 1,
+	}
+	// Paths: R(2) = 15+10+1 = 26, R(0) = 15+0+3 = 18, R(1) = 15+0+2 = 17.
+	ranks, err := perOp.CriticalPathRanks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{1, 2, 0}; !reflect.DeepEqual(ranks, want) {
+		t.Fatalf("per-op BP ranks = %v, want %v", ranks, want)
+	}
+	uniform := perOp
+	uniform.BP = []float64{5, 5, 5} // same total backward cost, flat profile
+	// Paths: R(0) = 15+0+3 = 18, R(2) = 5+10+1 = 16, R(1) = 10+0+2 = 12.
+	flat, err := uniform.CriticalPathRanks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int64{0, 2, 1}; !reflect.DeepEqual(flat, want) {
+		t.Fatalf("uniform BP ranks = %v, want %v", flat, want)
+	}
+	if reflect.DeepEqual(ranks, flat) {
+		t.Fatal("per-op BP profile did not change the ordering: the uniform knob would have been sufficient")
+	}
+}
+
+// TestCriticalPathNilBPBackCompat pins that a profile without backward
+// timings ranks exactly as before BP existed: transfer + forward suffix.
+func TestCriticalPathNilBPBackCompat(t *testing.T) {
+	d := DAGTimings{
+		FP:          []float64{1, 1, 1},
+		LayerBytes:  []int64{0, 0, 10},
+		BytesPerSec: 1,
+	}
+	ranks, err := d.CriticalPathRanks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R = [3, 2, 11]: tail transfer dominates, then front-to-back.
+	if want := []int64{1, 2, 0}; !reflect.DeepEqual(ranks, want) {
+		t.Fatalf("nil-BP ranks = %v, want %v", ranks, want)
+	}
+}
+
+func TestCriticalPathSec(t *testing.T) {
+	d := DAGTimings{
+		FP:          []float64{1, 1, 1},
+		BP:          []float64{0, 0, 15},
+		LayerBytes:  []int64{0, 0, 10},
+		BytesPerSec: 1,
+	}
+	cp, err := d.CriticalPathSec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp != 26 { // the chain through the tail layer
+		t.Fatalf("CriticalPathSec = %v, want 26", cp)
+	}
+	if _, err := (DAGTimings{}).CriticalPathSec(); err == nil {
+		t.Fatal("empty profile accepted")
+	}
 }
 
 // TestCriticalPathUniformProfile pins the degenerate case: when every layer

@@ -30,7 +30,9 @@ func Profile(m *model.Model) TimingProfile {
 }
 
 // DAGTimings converts the profile into the core scheduler's priority input
-// for a link of the given rate.
+// for a link of the given rate. The per-op BP durations ride along, so
+// critical-path ranks see where in the backward pass each gradient actually
+// surfaces instead of assuming a uniform backward cost.
 func (p TimingProfile) DAGTimings(bytesPerSec float64) core.DAGTimings {
-	return core.DAGTimings{FP: p.FP, LayerBytes: p.LayerBytes, BytesPerSec: bytesPerSec}
+	return core.DAGTimings{FP: p.FP, BP: p.BP, LayerBytes: p.LayerBytes, BytesPerSec: bytesPerSec}
 }

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bytescheduler/internal/cluster"
+	"bytescheduler/internal/runner"
+)
+
+// ExtCluster is the multi-job scheduling scenario backing internal/cluster:
+// hundreds of heterogeneous jobs (the model zoo plus power-law synthetics,
+// millions of tensor transfers in total) arrive over a window on a shared
+// cluster, and the FIFO-admission / uniform-share / round-robin baseline is
+// compared against the treatment arm — backfill admission, work-conserving
+// max-min bandwidth sharing, delay-aware placement (the ps placement
+// strategies generalized from tensor→server to job-worker→node), and
+// contention-aware credit allocation.
+//
+// The claim under test is that the paper's single-job machinery composes
+// into a cluster scheduler: the same credit knob (§4.2) becomes a shared
+// pool divided by weighted max-min with per-job tensor appetites as caps,
+// the same placement reasoning becomes delay-aware worker placement, and
+// the combination beats the naive baseline on tail job-completion time —
+// the metric cluster operators actually page on — while also raising link
+// utilization (work conservation recycles capacity demand-capped workers
+// cannot absorb).
+func ExtCluster(o Opts) (Table, error) {
+	sc := cluster.Scenario{
+		Jobs:             400,
+		Nodes:            16,
+		SlotsPerNode:     4,
+		LinkGbps:         25,
+		MaxDelayMs:       2,
+		CreditPool:       512,
+		ArrivalWindowSec: 120,
+		Seed:             o.Seed,
+	}
+	if o.Quick {
+		sc.Jobs = 200
+		sc.ArrivalWindowSec = 60
+	}
+
+	arms := []struct {
+		key, label string
+		fair       bool
+	}{
+		{"fifo", "fifo/uniform", false},
+		{"fair", "fair/delay-aware", true},
+	}
+	reports := make([]cluster.Report, len(arms))
+	if err := o.parallel(len(arms), func(k int) error {
+		s := sc
+		s.Fair = arms[k].fair
+		res, err := o.run(runner.Config{Cluster: &s})
+		if err != nil {
+			return fmt.Errorf("%s: %w", arms[k].key, err)
+		}
+		reports[k] = *res.Cluster
+		return nil
+	}); err != nil {
+		return Table{}, err
+	}
+
+	tab := Table{
+		ID: "EXT-CLUSTER",
+		Title: fmt.Sprintf("multi-job cluster scheduling: %d heterogeneous jobs on %d nodes x%d slots (25G links)",
+			sc.Jobs, sc.Nodes, sc.SlotsPerNode),
+		Columns: []string{"arm", "jct_mean_s", "jct_p50_s", "jct_p95_s", "queue_mean_s", "makespan_s", "util"},
+		Metrics: map[string]float64{},
+	}
+	for k, arm := range arms {
+		r := reports[k]
+		tab.Metrics[arm.key+"_jct_mean_s"] = r.JCTMeanSec
+		tab.Metrics[arm.key+"_jct_p50_s"] = r.JCTP50Sec
+		tab.Metrics[arm.key+"_jct_p95_s"] = r.JCTP95Sec
+		tab.Metrics[arm.key+"_queue_mean_s"] = r.QueueMeanSec
+		tab.Metrics[arm.key+"_makespan_s"] = r.MakespanSec
+		tab.Metrics[arm.key+"_util_pct"] = r.UtilizationPct
+		tab.Rows = append(tab.Rows, []string{
+			arm.label, f1(r.JCTMeanSec), f1(r.JCTP50Sec), f1(r.JCTP95Sec),
+			f1(r.QueueMeanSec), f1(r.MakespanSec), pct(r.UtilizationPct),
+		})
+	}
+	base, fair := reports[0], reports[1]
+	tab.Metrics["cluster_jobs"] = float64(base.Jobs)
+	tab.Metrics["cluster_tensors_millions"] = float64(base.TotalTensors) / 1e6
+	tab.Metrics["p95_gain_pct"] = speedupPct(1/base.JCTP95Sec, 1/fair.JCTP95Sec)
+	tab.Metrics["mean_gain_pct"] = speedupPct(1/base.JCTMeanSec, 1/fair.JCTMeanSec)
+
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("%d jobs, %.1fM tensor transfers: fair-share + delay-aware placement cuts p95 JCT %.0f%% (%.0fs -> %.0fs) and mean %.0f%%",
+			base.Jobs, tab.Metrics["cluster_tensors_millions"],
+			tab.Metrics["p95_gain_pct"], base.JCTP95Sec, fair.JCTP95Sec,
+			tab.Metrics["mean_gain_pct"]),
+		fmt.Sprintf("work-conserving max-min sharing lifts link utilization %.0f%% -> %.0f%%: capacity a demand-capped worker strands under uniform slicing flows to its link neighbors",
+			base.UtilizationPct, fair.UtilizationPct),
+		"backfill admission drains the queue around blocked large heads; delay-aware placement is ps.DelayAware generalized from tensor->server to job-worker->node")
+	return tab, nil
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestExtClusterShape gates the multi-job scheduling claim: at the Quick
+// scale the scenario still runs hundreds of concurrent heterogeneous jobs
+// moving millions of tensor transfers, and the fair-share + delay-aware
+// arm beats the FIFO/uniform baseline on tail JCT.
+func TestExtClusterShape(t *testing.T) {
+	tab, err := ExtCluster(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs := tab.Metrics["cluster_jobs"]; jobs < 200 {
+		t.Fatalf("scenario ran %v jobs, want >= 200 concurrent heterogeneous jobs", jobs)
+	}
+	if mt := tab.Metrics["cluster_tensors_millions"]; mt < 1 {
+		t.Fatalf("scenario moved %.2fM tensor transfers, want millions", mt)
+	}
+	if tab.Metrics["fair_jct_p95_s"] >= tab.Metrics["fifo_jct_p95_s"] {
+		t.Fatalf("fair p95 JCT %.1fs not better than fifo %.1fs",
+			tab.Metrics["fair_jct_p95_s"], tab.Metrics["fifo_jct_p95_s"])
+	}
+	if g := tab.Metrics["p95_gain_pct"]; g <= 0 {
+		t.Fatalf("p95 gain %.1f%%, want positive", g)
+	}
+	if tab.Metrics["fair_util_pct"] <= tab.Metrics["fifo_util_pct"] {
+		t.Fatalf("work-conserving arm did not raise utilization: %.1f%% vs %.1f%%",
+			tab.Metrics["fair_util_pct"], tab.Metrics["fifo_util_pct"])
+	}
+}

@@ -10,9 +10,10 @@ package experiments
 // cheapest figure (FIG2), a sweep-grid fan-out (FIG4B), the batched-BO
 // tuner path (FIG9), single-run ablations (ABL-PRIORITY, EXT-LAYERWISE),
 // a mixed cacheable/reference grid (EXT-BALANCE), and the custom-priority
-// uncacheable path (THM1). The !race build runs the full registry (minus
-// the heavyweight figures, which benchsuite -measure-serial verifies at
-// run time).
+// uncacheable path (THM1), and the multi-job cluster scenario path
+// (EXT-CLUSTER). The !race build runs the full registry (minus the
+// heavyweight figures, which benchsuite -measure-serial verifies at run
+// time).
 func determinismSuiteIDs() []string {
-	return []string{"FIG2", "FIG4B", "FIG9", "ABL-PRIORITY", "EXT-LAYERWISE", "EXT-BALANCE", "THM1"}
+	return []string{"FIG2", "FIG4B", "FIG9", "ABL-PRIORITY", "EXT-LAYERWISE", "EXT-BALANCE", "EXT-CLUSTER", "THM1"}
 }

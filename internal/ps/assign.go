@@ -40,6 +40,12 @@ const (
 	// StrategyHashRing places units by consistent hashing of their keys
 	// over a virtual-node ring.
 	StrategyHashRing
+	// StrategyDelayAware places each unit where it would finish earliest:
+	// cumulative assigned bytes over the link rate plus the target's network
+	// delay (Dally-style delay-aware scoring). With uniform delays it
+	// degenerates to size-balanced greedy; with heterogeneous delays it
+	// trades load for proximity, the knob cluster-level job placement turns.
+	StrategyDelayAware
 )
 
 // String returns the canonical strategy name.
@@ -51,13 +57,16 @@ func (s Strategy) String() string {
 		return "size-balanced"
 	case StrategyHashRing:
 		return "hash-ring"
+	case StrategyDelayAware:
+		return "delay-aware"
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
 // ParseStrategy resolves a strategy from a CLI/config spelling. Accepted
 // (case-insensitive): "round-robin"/"rr"/"" (default), "size-balanced"/
-// "lpt"/"balanced", "hash-ring"/"ring"/"hash".
+// "lpt"/"balanced", "hash-ring"/"ring"/"hash", "delay-aware"/"delay"/
+// "dally".
 func ParseStrategy(name string) (Strategy, error) {
 	switch strings.ToLower(strings.TrimSpace(name)) {
 	case "", "round-robin", "roundrobin", "rr":
@@ -66,6 +75,8 @@ func ParseStrategy(name string) (Strategy, error) {
 		return StrategySizeBalanced, nil
 	case "hash-ring", "hashring", "ring", "hash":
 		return StrategyHashRing, nil
+	case "delay-aware", "delayaware", "delay", "dally":
+		return StrategyDelayAware, nil
 	}
 	return 0, fmt.Errorf("ps: unknown assignment strategy %q", name)
 }
@@ -77,6 +88,7 @@ func StrategyNames() []string {
 		StrategyRoundRobin.String(),
 		StrategySizeBalanced.String(),
 		StrategyHashRing.String(),
+		StrategyDelayAware.String(),
 	}
 }
 
@@ -109,6 +121,10 @@ func NewAssigner(s Strategy, servers int) Assigner {
 		return NewSizeBalanced(servers)
 	case StrategyHashRing:
 		return NewHashRing(servers, DefaultVirtualNodes)
+	case StrategyDelayAware:
+		// Without a topology there is no delay vector; zero delays make the
+		// score pure load/rate, i.e. size-balanced greedy.
+		return NewDelayAware(servers, make([]float64, servers), 1)
 	default:
 		return NewRoundRobin(servers)
 	}
@@ -182,6 +198,69 @@ func (b *SizeBalanced) Assign(_ string, bytes int64) int {
 	}
 	b.load[best] += bytes
 	return best
+}
+
+// DelayAware is the network-sensitive assigner: each unit lands on the
+// server where its transfer would finish earliest, scoring candidate s as
+//
+//	(load[s] + bytes) / bytesPerSec + delay[s]
+//
+// — queueing behind the bytes already assigned there, then paying the
+// server's network delay. Ties break to the lowest index, keeping placement
+// deterministic. With uniform delays the delay term cancels out of the
+// argmin and the assigner degenerates to SizeBalanced; with heterogeneous
+// delays it keeps nearby servers busier until the load gap costs more than
+// the extra hops — Dally's delay-aware scoring. The cluster layer reuses the
+// same score for job→node placement.
+type DelayAware struct {
+	loadTracker
+	delay []float64 // seconds of one-way delay per server
+	rate  float64   // link bytes/sec converting load into queueing time
+}
+
+// NewDelayAware returns a delay-aware assigner over len(delaySec) = servers
+// targets. It panics on a delay/server count mismatch, a negative delay, or
+// a non-positive rate (configuration bugs, same contract as NewAssigner).
+func NewDelayAware(servers int, delaySec []float64, bytesPerSec float64) *DelayAware {
+	if servers <= 0 {
+		panic(fmt.Sprintf("ps: assigner needs at least one server, got %d", servers))
+	}
+	if len(delaySec) != servers {
+		panic(fmt.Sprintf("ps: delay-aware assigner has %d servers but %d delays", servers, len(delaySec)))
+	}
+	if bytesPerSec <= 0 {
+		panic(fmt.Sprintf("ps: non-positive link rate %v for delay-aware assigner", bytesPerSec))
+	}
+	delays := make([]float64, servers)
+	for i, d := range delaySec {
+		if d < 0 {
+			panic(fmt.Sprintf("ps: negative delay %v for server %d", d, i))
+		}
+		delays[i] = d
+	}
+	return &DelayAware{loadTracker: newLoadTracker(servers), delay: delays, rate: bytesPerSec}
+}
+
+// Name implements Assigner.
+func (d *DelayAware) Name() string { return StrategyDelayAware.String() }
+
+// Assign implements Assigner: the server with the earliest estimated finish
+// for this unit.
+func (d *DelayAware) Assign(_ string, bytes int64) int {
+	best := 0
+	bestScore := d.score(0, bytes)
+	for s := 1; s < len(d.load); s++ {
+		if sc := d.score(s, bytes); sc < bestScore {
+			best, bestScore = s, sc
+		}
+	}
+	d.load[best] += bytes
+	return best
+}
+
+// score estimates when a unit of the given size would finish on server s.
+func (d *DelayAware) score(s int, bytes int64) float64 {
+	return (float64(d.load[s])+float64(bytes))/d.rate + d.delay[s]
 }
 
 // DefaultVirtualNodes is the number of ring points per server for the

@@ -23,6 +23,9 @@ func TestParseStrategy(t *testing.T) {
 		{"hash-ring", StrategyHashRing, false},
 		{"Ring", StrategyHashRing, false},
 		{"hash", StrategyHashRing, false},
+		{"delay-aware", StrategyDelayAware, false},
+		{"Delay", StrategyDelayAware, false},
+		{"dally", StrategyDelayAware, false},
 		{" lpt ", StrategySizeBalanced, false},
 		{"bogus", 0, true},
 	}
@@ -41,7 +44,7 @@ func TestParseStrategy(t *testing.T) {
 }
 
 func TestStrategyRoundTrip(t *testing.T) {
-	for _, s := range []Strategy{StrategyRoundRobin, StrategySizeBalanced, StrategyHashRing} {
+	for _, s := range []Strategy{StrategyRoundRobin, StrategySizeBalanced, StrategyHashRing, StrategyDelayAware} {
 		got, err := ParseStrategy(s.String())
 		if err != nil || got != s {
 			t.Errorf("ParseStrategy(%v.String()) = %v, %v", s, got, err)
@@ -50,7 +53,7 @@ func TestStrategyRoundTrip(t *testing.T) {
 			t.Errorf("NewAssigner(%v).Name() = %q", s, NewAssigner(s, 4).Name())
 		}
 	}
-	if len(StrategyNames()) != 3 {
+	if len(StrategyNames()) != 4 {
 		t.Fatalf("StrategyNames() = %v", StrategyNames())
 	}
 }
@@ -155,7 +158,7 @@ func TestRoundRobinAliasesPeriodicSizes(t *testing.T) {
 
 func TestAssignersAreDeterministic(t *testing.T) {
 	sizes := powerLawSizes(32, 8<<20, 1.0, 7)
-	for _, s := range []Strategy{StrategyRoundRobin, StrategySizeBalanced, StrategyHashRing} {
+	for _, s := range []Strategy{StrategyRoundRobin, StrategySizeBalanced, StrategyHashRing, StrategyDelayAware} {
 		a, b := NewAssigner(s, 5), NewAssigner(s, 5)
 		for i, bytes := range sizes {
 			key := fmt.Sprintf("L%d/w", i)
@@ -214,6 +217,48 @@ func TestHashRingPanics(t *testing.T) {
 	mustPanic(t, "remove last server", func() { ring.RemoveServer(0) })
 	mustPanic(t, "negative server", func() { ring.AddServer(-1) })
 	mustPanic(t, "zero servers", func() { NewAssigner(StrategyRoundRobin, 0) })
+}
+
+// TestDelayAwareTradesLoadForProximity pins the scoring rule on a
+// hand-checkable topology: server 0 is local (no delay), server 1 a
+// cross-rack hop 2 seconds away, link rate 1 B/s, unit size 1 byte. Units
+// queue locally until local queueing exceeds the remote delay, then
+// alternate — scores before each pick: 1v3, 2v3, 3v3 (tie → low index),
+// 4v3, 4v4 (tie), 5v4.
+func TestDelayAwareTradesLoadForProximity(t *testing.T) {
+	a := NewDelayAware(2, []float64{0, 2}, 1)
+	want := []int{0, 0, 0, 1, 0, 1}
+	for i, ws := range want {
+		if got := a.Assign(fmt.Sprintf("u%d", i), 1); got != ws {
+			t.Fatalf("unit %d placed on server %d, want %d", i, got, ws)
+		}
+	}
+	if load := a.Load(); load[0] != 4 || load[1] != 2 {
+		t.Fatalf("delay-aware load = %v, want [4 2]", load)
+	}
+}
+
+// TestDelayAwareUniformDelayMatchesSizeBalanced pins the degenerate case:
+// with equal delays the delay term cancels and placement must coincide with
+// the size-balanced greedy on any sequence.
+func TestDelayAwareUniformDelayMatchesSizeBalanced(t *testing.T) {
+	const servers = 5
+	sizes := powerLawSizes(64, 16<<20, 0.9, 11)
+	da := NewDelayAware(servers, []float64{3, 3, 3, 3, 3}, 1e9)
+	lpt := NewSizeBalanced(servers)
+	for i, b := range sizes {
+		key := fmt.Sprintf("L%d/w", i)
+		if got, want := da.Assign(key, b), lpt.Assign(key, b); got != want {
+			t.Fatalf("unit %d (%d bytes): delay-aware → %d, size-balanced → %d", i, b, got, want)
+		}
+	}
+}
+
+func TestDelayAwarePanics(t *testing.T) {
+	mustPanic(t, "zero servers", func() { NewDelayAware(0, nil, 1) })
+	mustPanic(t, "delay count mismatch", func() { NewDelayAware(2, []float64{1}, 1) })
+	mustPanic(t, "negative delay", func() { NewDelayAware(1, []float64{-1}, 1) })
+	mustPanic(t, "zero rate", func() { NewDelayAware(1, []float64{0}, 0) })
 }
 
 func mustPanic(t *testing.T, what string, fn func()) {

@@ -1,0 +1,61 @@
+package runner
+
+import (
+	"fmt"
+
+	"bytescheduler/internal/cluster"
+	"bytescheduler/internal/metrics"
+	"bytescheduler/internal/trace"
+)
+
+// runCluster executes a multi-job cluster scenario and publishes its
+// metrics and per-job trace lanes through the same observability
+// surfaces single-job runs use.
+func runCluster(cfg Config) (Result, error) {
+	rep, err := cfg.Cluster.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	recordClusterTrace(cfg.Trace, rep)
+	publishClusterMetrics(cfg.Metrics, rep)
+	return Result{Cluster: &rep}, nil
+}
+
+// publishClusterMetrics pushes a scenario report into the registry under
+// the cluster_* schema (documented in ARCHITECTURE.md). Time-valued
+// gauges are in milliseconds because gauges are integral and cluster JCTs
+// live in the seconds-to-minutes range.
+func publishClusterMetrics(reg *metrics.Registry, rep cluster.Report) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("cluster_jobs").Set(int64(rep.Jobs))
+	reg.Gauge("cluster_nodes").Set(int64(rep.Nodes))
+	reg.Counter("cluster_tensors_total").Add(uint64(rep.TotalTensors))
+	reg.Gauge("cluster_jct_p50_ms").Set(int64(rep.JCTP50Sec * 1000))
+	reg.Gauge("cluster_jct_p95_ms").Set(int64(rep.JCTP95Sec * 1000))
+	reg.Gauge("cluster_makespan_ms").Set(int64(rep.MakespanSec * 1000))
+	reg.Gauge("cluster_queue_mean_ms").Set(int64(rep.QueueMeanSec * 1000))
+	reg.Gauge("cluster_utilization_pct").Set(int64(rep.UtilizationPct))
+	jct := reg.Histogram("cluster_jct_seconds")
+	for _, js := range rep.PerJob {
+		jct.Observe(js.DoneSec - js.ArrivalSec)
+	}
+}
+
+// recordClusterTrace writes one lane per job — a "queued" span from
+// arrival to admission (when the wait is nonzero) and a "run" span from
+// admission to completion — so a scenario renders as a cluster-wide
+// gantt chart in the same viewer as single-job GPU traces.
+func recordClusterTrace(rec *trace.Recorder, rep cluster.Report) {
+	if rec == nil {
+		return
+	}
+	for _, js := range rep.PerJob {
+		lane := fmt.Sprintf("cluster/j%03d-%s", js.ID, js.Model)
+		if js.AdmitSec > js.ArrivalSec {
+			rec.Add(lane, "queued", js.ArrivalSec, js.AdmitSec)
+		}
+		rec.Add(lane, "run", js.AdmitSec, js.DoneSec)
+	}
+}

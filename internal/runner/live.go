@@ -83,6 +83,13 @@ type LiveConfig struct {
 	// until layer l's gradient synchronization from iteration i finished —
 	// the dependency structure that makes front-layer priority pay.
 	ForwardCompute, BackwardCompute time.Duration
+	// BackwardTimes, when non-empty, replaces the uniform BackwardCompute
+	// knob with per-op profiled backward durations, one per layer (same
+	// front-to-back order as LayerBytes): the backward pass sleeps
+	// BackwardTimes[l] before emitting layer l's gradient, and the
+	// critical-path priority sees the same per-op profile instead of a
+	// uniform backward cost.
+	BackwardTimes []time.Duration
 	// Metrics, if non-nil, instruments worker 0's scheduler and every
 	// transport endpoint against the registry (core_*, netps_*/netar_*).
 	Metrics *metrics.Registry
@@ -218,10 +225,20 @@ func ParsePipelineMode(s string) (PipelineMode, error) {
 // critical-path priority falls back to when LinkBytesPerSec is unset.
 const DefaultLiveLinkBytesPerSec = 1 << 30
 
+// backwardTime returns layer l's backward compute duration: the profiled
+// per-op time when BackwardTimes is set, the uniform knob otherwise.
+func (c LiveConfig) backwardTime(l int) time.Duration {
+	if len(c.BackwardTimes) > 0 {
+		return c.BackwardTimes[l]
+	}
+	return c.BackwardCompute
+}
+
 // priorityRanks materializes the run's priority strategy into a per-layer
 // rank table (nil for PriorityDefault). The live profile has uniform
-// forward compute per layer, so the critical path is driven by LayerBytes
-// and the link-rate estimate.
+// forward compute per layer; the backward profile is per-op when
+// BackwardTimes is set, so the critical path sees where in the pass each
+// gradient surfaces rather than a uniform backward cost.
 func (c LiveConfig) priorityRanks() ([]int64, error) {
 	if c.Priority == core.PriorityDefault {
 		return nil, nil
@@ -231,10 +248,12 @@ func (c LiveConfig) priorityRanks() ([]int64, error) {
 		rate = DefaultLiveLinkBytesPerSec
 	}
 	fp := make([]float64, len(c.LayerBytes))
+	bp := make([]float64, len(c.LayerBytes))
 	for i := range fp {
 		fp[i] = c.ForwardCompute.Seconds()
+		bp[i] = c.backwardTime(i).Seconds()
 	}
-	return c.Priority.Ranks(core.DAGTimings{FP: fp, LayerBytes: c.LayerBytes, BytesPerSec: rate}, c.Seed)
+	return c.Priority.Ranks(core.DAGTimings{FP: fp, BP: bp, LayerBytes: c.LayerBytes, BytesPerSec: rate}, c.Seed)
 }
 
 // Validate reports configuration errors.
@@ -253,6 +272,14 @@ func (c LiveConfig) Validate() error {
 	for l, b := range c.LayerBytes {
 		if b <= 0 || b%4 != 0 {
 			return fmt.Errorf("runner: layer %d size %d is not a positive multiple of 4", l, b)
+		}
+	}
+	if len(c.BackwardTimes) > 0 && len(c.BackwardTimes) != len(c.LayerBytes) {
+		return fmt.Errorf("runner: %d backward times for %d layers", len(c.BackwardTimes), len(c.LayerBytes))
+	}
+	for l, bt := range c.BackwardTimes {
+		if bt < 0 {
+			return fmt.Errorf("runner: negative backward time %v for layer %d", bt, l)
 		}
 	}
 	if err := c.Policy.Validate(); err != nil {
@@ -783,8 +810,8 @@ func liveWorker(cfg LiveConfig, rank int, ranks []int64, tr liveTransport, ctrl 
 		// mid-pass.
 		batch := make([]*core.Task, layers)
 		for l := layers - 1; l >= 0; l-- {
-			if cfg.BackwardCompute > 0 {
-				time.Sleep(cfg.BackwardCompute)
+			if bt := cfg.backwardTime(l); bt > 0 {
+				time.Sleep(bt)
 			}
 			l := l
 			iter := uint32(it)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"bytescheduler/internal/allreduce"
+	"bytescheduler/internal/cluster"
 	"bytescheduler/internal/compress"
 	"bytescheduler/internal/core"
 	"bytescheduler/internal/engine"
@@ -126,6 +127,13 @@ type Config struct {
 	// Jitter adds relative compute-time noise; Seed seeds it.
 	Jitter float64
 	Seed   int64
+	// Cluster, if non-nil, switches the run from a single training job to
+	// a multi-job cluster scenario: hundreds of heterogeneous jobs driven
+	// through admission control, placement, and bandwidth/credit sharing
+	// (internal/cluster). Single-job fields (Model, Arch, Policy, ...) are
+	// ignored; the scenario is self-contained, so it folds into sweep
+	// cache keys like any other scalar configuration.
+	Cluster *cluster.Scenario
 	// Trace, if non-nil, records GPU spans.
 	Trace *trace.Recorder
 	// Metrics, if non-nil, receives the run's counters, gauges and span
@@ -153,6 +161,11 @@ func (c Config) withDefaults() Config {
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	c = c.withDefaults()
+	if c.Cluster != nil {
+		// Cluster scenarios are self-contained; the single-job knobs are
+		// ignored, so only the scenario itself needs to hold up.
+		return c.Cluster.Validate()
+	}
 	if c.Model == nil {
 		return fmt.Errorf("runner: nil model")
 	}
@@ -177,7 +190,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("runner: unknown arch %d", int(c.Arch))
 	}
 	switch c.Placement {
-	case ps.StrategyRoundRobin, ps.StrategySizeBalanced, ps.StrategyHashRing:
+	case ps.StrategyRoundRobin, ps.StrategySizeBalanced, ps.StrategyHashRing, ps.StrategyDelayAware:
 	default:
 		return fmt.Errorf("runner: unknown placement strategy %d", int(c.Placement))
 	}
@@ -203,6 +216,10 @@ func (c Config) Machines() int {
 // Name returns a human-readable setup label like
 // "MXNet PS RDMA VGG16 x32gpu".
 func (c Config) Name() string {
+	if c.Cluster != nil {
+		s := *c.Cluster
+		return fmt.Sprintf("cluster %dj x%dn fair=%v", s.Jobs, s.Nodes, s.Fair)
+	}
 	return fmt.Sprintf("%v %v %s %s x%dgpu", c.Framework, c.Arch, c.Transport.Name, c.Model.Name, c.GPUs)
 }
 
@@ -229,6 +246,9 @@ type Result struct {
 	// Faults counts injected fabric degradation (zero without fault
 	// injection).
 	Faults network.FaultStats
+	// Cluster holds the multi-job scenario report when Config.Cluster was
+	// set; the single-job fields above are zero in that mode.
+	Cluster *cluster.Report
 }
 
 // instance is a wired simulation ready to start.
@@ -373,6 +393,9 @@ func Run(cfg Config) (Result, error) {
 	}
 	if cfg.Metrics != nil && cfg.Trace == nil {
 		cfg.Trace = trace.New()
+	}
+	if cfg.Cluster != nil {
+		return runCluster(cfg)
 	}
 	inst, err := build(cfg, engineConfig(cfg))
 	if err != nil {

@@ -70,6 +70,18 @@ func Key(cfg runner.Config) (string, bool) {
 	if cfg.Trace != nil || cfg.Metrics != nil {
 		return "", false
 	}
+	if cfg.Cluster != nil {
+		// Cluster scenarios are pure values: the scenario scalars are the
+		// whole behavior, so they key on their own and the single-job
+		// fields below are irrelevant.
+		s := *cfg.Cluster
+		h := fnv.New64a()
+		fmt.Fprintf(h, "cluster=%d,%d,%d,%g,%g,%d,%g,%t,%d|",
+			s.Jobs, s.Nodes, s.SlotsPerNode, s.LinkGbps, s.MaxDelayMs,
+			s.CreditPool, s.ArrivalWindowSec, s.Fair, s.Seed)
+		var sum [8]byte
+		return string(h.Sum(sum[:0])), true
+	}
 	p := cfg.Policy
 	if p.PartitionFn != nil {
 		return "", false

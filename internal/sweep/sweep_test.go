@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"bytescheduler/internal/cluster"
 	"bytescheduler/internal/core"
 	"bytescheduler/internal/metrics"
 	"bytescheduler/internal/model"
@@ -179,6 +180,19 @@ func TestKeyDistinguishesConfigs(t *testing.T) {
 		func(c *runner.Config) { c.Model = model.ResNet50() },
 		func(c *runner.Config) { c.Iterations = 4 },
 		func(c *runner.Config) { c.Transport = network.RDMA() },
+		// Cluster scenarios key on their own scalars; every field must
+		// reach the hash, and the scenario key must not collide with any
+		// single-job key.
+		func(c *runner.Config) { c.Cluster = &cluster.Scenario{Seed: 1} },
+		func(c *runner.Config) { c.Cluster = &cluster.Scenario{Seed: 2} },
+		func(c *runner.Config) { c.Cluster = &cluster.Scenario{Seed: 1, Jobs: 10} },
+		func(c *runner.Config) { c.Cluster = &cluster.Scenario{Seed: 1, Nodes: 4} },
+		func(c *runner.Config) { c.Cluster = &cluster.Scenario{Seed: 1, SlotsPerNode: 2} },
+		func(c *runner.Config) { c.Cluster = &cluster.Scenario{Seed: 1, LinkGbps: 10} },
+		func(c *runner.Config) { c.Cluster = &cluster.Scenario{Seed: 1, MaxDelayMs: 3} },
+		func(c *runner.Config) { c.Cluster = &cluster.Scenario{Seed: 1, CreditPool: 64} },
+		func(c *runner.Config) { c.Cluster = &cluster.Scenario{Seed: 1, ArrivalWindowSec: 5} },
+		func(c *runner.Config) { c.Cluster = &cluster.Scenario{Seed: 1, Fair: true} },
 	}
 	seen := map[string]int{kBase: -1}
 	for i, m := range mut {
